@@ -1,0 +1,67 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Each benchmark runs one experiment from :mod:`repro.experiments` and asserts
+the paper's *shape* claims on its result. The session-scoped ``report``
+fixture collects every :class:`~repro.experiments.results.TableResult`;
+they are printed in the terminal summary (so they survive pytest's output
+capture) and written to ``benchmarks/results.json`` for EXPERIMENTS.md.
+
+Scale: defaults are laptop-sized; set ``REPRO_FULL_SCALE=1`` to run the
+paper's original workload sizes. Set ``REPRO_SCALE=smoke|laptop|paper`` for
+explicit control.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.results import TableResult, save_results
+
+RESULTS_PATH = Path(__file__).parent / "results.json"
+
+if "REPRO_SCALE" in os.environ:
+    SCALE = os.environ["REPRO_SCALE"]
+elif os.environ.get("REPRO_FULL_SCALE", "0") == "1":
+    SCALE = "paper"
+else:
+    SCALE = "laptop"
+
+
+class Report:
+    """Collects experiment results across the benchmark session."""
+
+    def __init__(self) -> None:
+        self.results: dict[str, TableResult] = {}
+
+    def record(self, result: TableResult) -> None:
+        self.results[result.experiment] = result
+
+    def render(self) -> str:
+        return "\n\n".join(r.render() for r in self.results.values())
+
+    def save(self) -> None:
+        save_results(RESULTS_PATH, list(self.results.values()))
+
+
+_report = Report()
+
+
+@pytest.fixture(scope="session")
+def report():
+    return _report
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return SCALE
+
+
+def pytest_terminal_summary(terminalreporter):
+    if _report.results:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(_report.render())
+        _report.save()
+        terminalreporter.write_line(f"\n[repro] results saved to {RESULTS_PATH}")

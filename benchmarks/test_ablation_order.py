@@ -1,0 +1,23 @@
+"""Ablation A4 — order independence (paper footnote 5).
+
+"The quality of the result from BIRCH was shown to be independent of the
+input order. Since BUBBLE and BUBBLE-FM are instantiations of the BIRCH*
+framework ... we do not present more results on order-independence here."
+
+We present them: the same dataset scanned in several random orders must
+yield final clusterings of near-identical distortion.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_ablation_order
+
+
+def test_a4_order_independence(benchmark, report, scale):
+    result = benchmark.pedantic(
+        run_ablation_order, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    report.record(result)
+    for row in result.rows:
+        values = row[1:-1]
+        assert max(values) <= 1.25 * min(values)

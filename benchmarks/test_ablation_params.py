@@ -1,0 +1,45 @@
+"""Ablations A1-A3 — sensitivity to the paper's tuning parameters.
+
+Section 5.2.2: "results are not very sensitive to small deviations in the
+values of the parameters: the representation number and the sample size. We
+found that a value of 10 for the representation number works well ... an
+appropriate value for the sample size ... 5 * BF works well in practice."
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    run_ablation_image_dim,
+    run_ablation_representation,
+    run_ablation_sample_size,
+)
+
+
+def test_a1_representation_number(benchmark, report, scale):
+    result = benchmark.pedantic(
+        run_ablation_representation, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    report.record(result)
+    values = result.column("distortion")
+    assert max(values) <= 1.5 * min(values)
+
+
+def test_a2_sample_size(benchmark, report, scale):
+    result = benchmark.pedantic(
+        run_ablation_sample_size, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    report.record(result)
+    values = result.column("distortion")
+    assert max(values) <= 1.5 * min(values)
+
+
+def test_a3_image_dimensionality(benchmark, report, scale):
+    result = benchmark.pedantic(
+        run_ablation_image_dim, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    report.record(result)
+    values = result.column("distortion")
+    # Quality stays usable across image dimensionalities; routing errors at
+    # non-leaf nodes redirect objects but do not corrupt leaf clusters
+    # (Section 5.2.1), so distortion moves only moderately.
+    assert max(values) <= 2.0 * min(values)

@@ -1,0 +1,23 @@
+"""Figure 6 — wall-clock time vs number of clusters (fixed N).
+
+Paper shape: time grows (almost) linearly as the number of clusters in the
+data rises, with the point count fixed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import run_fig6_time_vs_clusters
+
+
+def test_fig6_time_vs_clusters(benchmark, report, scale):
+    result = benchmark.pedantic(
+        run_fig6_time_vs_clusters, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    report.record(result)
+
+    ks = np.asarray(result.column("#clusters"), dtype=float)
+    tb = np.asarray(result.column("BUBBLE (s)"))
+    # Sub-quadratic in k: time ratio bounded by ~2.5x the cluster ratio.
+    assert tb[-1] / tb[0] < 2.5 * (ks[-1] / ks[0])

@@ -1,0 +1,32 @@
+"""Table 2 — clustering quality of BUBBLE and BUBBLE-FM on DS20d.50c.
+
+Paper (Table 2):
+
+    Algorithm   CQ      Actual distortion   Computed distortion
+    BUBBLE      0.289   21127.4             21127.5
+    BUBBLE-FM   0.294   21127.4             21127.5
+
+with the CQ floor (mean distance from each actual centroid to the closest
+actual point) at 0.212.
+
+Shapes under test: CQ lands close to the floor for both algorithms, and the
+computed distortion matches the actual distortion almost exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_table2
+
+
+def test_table2_quality(benchmark, report, scale):
+    result = benchmark.pedantic(run_table2, kwargs={"scale": scale}, rounds=1, iterations=1)
+    report.record(result)
+
+    for row in result.rows:
+        _, cq, floor, actual, computed, *_ = row
+        # CQ within a small multiple of the floor (paper: 0.289 vs 0.212).
+        assert cq < 4 * floor
+        # Computed distortion tracks the actual clustering's distortion.
+        assert computed == pytest.approx(actual, rel=0.05)

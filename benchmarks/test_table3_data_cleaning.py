@@ -1,0 +1,39 @@
+"""Table 3 — the data-cleaning application: BUBBLE-FM vs RED on an
+authority-file workload (paper Section 7; RDS simulated per DESIGN.md).
+
+Paper (Table 3), 150k strings / 13,884 variants:
+
+    Algorithm            #clusters   #misplaced   time (hrs)
+    RED (run 1)          10161       69           45
+    BUBBLE-FM (run 1)    10078       897          7.5
+    BUBBLE-FM (run 2)    12385       20           7
+
+Shapes under test, mirroring the paper's two operating points:
+
+* run 1 (speed: loose threshold, CF*-tree second phase) — far fewer distance
+  computations than RED at a misplacement penalty (the paper's 897 vs 69);
+* run 2 (quality: tight threshold, exact second phase) — more clusters than
+  RED with *fewer* misplaced strings (the paper's 12,385 / 20).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_table3
+
+
+def test_table3_data_cleaning(benchmark, report, scale):
+    result = benchmark.pedantic(run_table3, kwargs={"scale": scale}, rounds=1, iterations=1)
+    report.record(result)
+
+    by = result.row_map()
+    red = by["RED (run 1)"]
+    fm1 = by["BUBBLE-FM (run 1)"]
+    fm2 = by["BUBBLE-FM (run 2)"]
+    clusters, misplaced, ncd = 1, 2, 4
+
+    # Run 1 shape: much cheaper than RED, at a misplacement penalty.
+    assert fm1[ncd] < red[ncd]
+    assert fm1[misplaced] >= red[misplaced]
+    # Run 2 shape: more clusters than RED, fewer misplaced strings.
+    assert fm2[clusters] > red[clusters]
+    assert fm2[misplaced] < red[misplaced]

@@ -1,0 +1,69 @@
+"""Render the paper's figures in the terminal.
+
+Regenerates Figures 1-3 (DS2 cluster centers for BUBBLE, BUBBLE-FM and the
+Map-First/BIRCH baseline) as ASCII scatter plots, and Figure 5 (NCD vs
+number of points) as an ASCII line plot — miniature but shape-faithful
+versions of the paper's plots.
+
+Run:  python examples/paper_figures.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import BUBBLE, BUBBLEFM
+from repro.datasets import make_cell_dataset, make_ds2
+from repro.evaluation.plots import ascii_lines, ascii_scatter
+from repro.metrics import EuclideanDistance
+from repro.pipelines import cluster_dataset, map_first_cluster
+
+
+def figures_1_to_3() -> None:
+    ds = make_ds2(n_points=6000, n_clusters=100, seed=40)
+
+    def bubble_centers(algorithm):
+        res = cluster_dataset(
+            ds.as_objects(), EuclideanDistance(), n_clusters=100,
+            algorithm=algorithm, image_dim=2, max_nodes=18, assign=False, seed=4,
+        )
+        return np.vstack(res.centers)
+
+    for name, centers in (
+        ("Figure 1: DS2 clustroids found by BUBBLE", bubble_centers("bubble")),
+        ("Figure 2: DS2 clustroids found by BUBBLE-FM", bubble_centers("bubble-fm")),
+        (
+            "Figure 3: DS2 centroids found by BIRCH on FastMap images (Map-First)",
+            map_first_cluster(
+                ds.as_objects(), EuclideanDistance(), n_clusters=100,
+                image_dim=2, max_nodes=18, seed=4,
+            ).image_centers,
+        ),
+    ):
+        print(ascii_scatter({"found centers": centers}, title=name, height=14))
+        print()
+
+
+def figure_5() -> None:
+    point_counts = [2000, 4000, 6000, 8000]
+    ncd_bubble, ncd_fm = [], []
+    for n in point_counts:
+        ds = make_cell_dataset(dim=20, n_clusters=50, n_points=n, seed=60)
+        objs = ds.as_objects()
+        m1, m2 = EuclideanDistance(), EuclideanDistance()
+        BUBBLE(m1, max_nodes=12, seed=6).fit(objs)
+        BUBBLEFM(m2, max_nodes=12, image_dim=20, seed=6).fit(objs)
+        ncd_bubble.append(m1.n_calls)
+        ncd_fm.append(m2.n_calls)
+    print(
+        ascii_lines(
+            point_counts,
+            {"BUBBLE NCD": ncd_bubble, "BUBBLE-FM NCD": ncd_fm},
+            title="Figure 5: number of calls to d vs number of points (DS20d.50c)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    figures_1_to_3()
+    figure_5()

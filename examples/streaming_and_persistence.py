@@ -1,0 +1,78 @@
+"""Streaming ingestion and persisting the condensed result.
+
+BIRCH* algorithms read objects sequentially and keep only O(M) state, so
+they handle data that never fits in memory. This example:
+
+1. writes a dataset to disk and clusters it *from the stream* (the process
+   never holds all points at once);
+2. continues clustering as two more "days" of data arrive (partial_fit);
+3. persists the condensed sub-cluster summaries to JSON;
+4. reloads them in a fresh session and labels new records against them.
+
+Run:  python examples/streaming_and_persistence.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import BUBBLE
+from repro.datasets import make_cell_dataset, stream_vectors, write_vector_file
+from repro.metrics import EuclideanDistance
+from repro.persistence import load_subclusters, save_subclusters
+from repro.pipelines import nearest_assignment
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro-demo-"))
+
+    # --- 1. day 0: cluster straight off the disk stream -------------------
+    day0 = make_cell_dataset(dim=5, n_clusters=6, n_points=4000, seed=0)
+    day0_file = workdir / "day0.csv"
+    write_vector_file(day0_file, day0.as_objects())
+
+    metric = EuclideanDistance()
+    model = BUBBLE(metric, max_nodes=12, seed=0)
+    model.partial_fit(stream_vectors(day0_file))   # generator: single scan
+    print(f"day 0: {model.tree_.n_objects} objects -> "
+          f"{model.n_subclusters_} sub-clusters "
+          f"(tree nodes: {model.tree_.n_nodes}, NCD: {metric.n_calls})")
+
+    # --- 2. more batches arrive ------------------------------------------
+    for day in (1, 2):
+        batch = make_cell_dataset(dim=5, n_clusters=6, n_points=2000, seed=day)
+        model.partial_fit(batch.as_objects())
+        print(f"day {day}: total {model.tree_.n_objects} objects -> "
+              f"{model.n_subclusters_} sub-clusters "
+              f"(threshold has grown to {model.tree_.threshold:.3f})")
+    model.finalize()
+
+    # --- 3. persist the condensed representation --------------------------
+    snapshot = workdir / "subclusters.json"
+    save_subclusters(
+        snapshot,
+        model.subclusters_,
+        metadata={"metric": "euclidean", "source": "days 0-2"},
+    )
+    print(f"\nsaved {model.n_subclusters_} sub-cluster summaries "
+          f"({snapshot.stat().st_size} bytes) to {snapshot}")
+
+    # --- 4. a fresh session loads and uses them ---------------------------
+    loaded, meta = load_subclusters(snapshot)
+    print(f"reloaded {len(loaded)} summaries (metadata: {meta})")
+    fresh_metric = EuclideanDistance()
+    queries = make_cell_dataset(dim=5, n_clusters=6, n_points=10, seed=9)
+    labels = nearest_assignment(
+        fresh_metric, queries.as_objects(), [s.clustroid for s in loaded]
+    )
+    print(f"labeled {len(labels)} new records using only the snapshot "
+          f"({fresh_metric.n_calls} distance calls)")
+    print("\nThe full dataset was never resident in memory: the tree held "
+          f"at most {model.tree_.max_nodes} nodes.")
+
+
+if __name__ == "__main__":
+    main()

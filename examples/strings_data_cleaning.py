@@ -1,0 +1,78 @@
+"""Data cleaning: building an authority file from variant author strings.
+
+Reproduces the workflow of Section 7 of the paper at demo scale: a corpus of
+bibliographic author strings (with typos, dropped characters, transposed
+words and initialed given names) is grouped into variant classes so a
+canonical form can be assigned to each class. BUBBLE-FM does the heavy
+lifting with the edit distance; the RED comparator shows the classical
+leader-clustering alternative.
+
+Run:  python examples/strings_data_cleaning.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import BUBBLEFM
+from repro.datasets import make_authority_dataset
+from repro.evaluation import misplaced_count
+from repro.metrics import CachedDistance, EditDistance
+from repro.red import REDClusterer
+
+
+def main() -> None:
+    # A synthetic stand-in for the paper's proprietary RDS dataset: 80
+    # authors, 800 records, heavy duplication, corruption classes matching
+    # the paper's description (omissions / additions / transpositions).
+    ds = make_authority_dataset(n_classes=80, n_strings=800, seed=7)
+    print(f"dataset: {ds.n_strings} records, {ds.n_classes} true authors, "
+          f"{ds.n_distinct_variants} distinct variants")
+    print("example variants of one author:")
+    for v in ds.variants[0][:5]:
+        print(f"  {v!r}")
+
+    # --- BUBBLE-FM with the edit distance ---------------------------------
+    # CachedDistance dedupes exact repeats (real records repeat constantly);
+    # n_calls counts true O(m*n) edit-distance evaluations only.
+    metric = CachedDistance(EditDistance())
+    start = time.perf_counter()
+    model = BUBBLEFM(
+        metric,
+        branching_factor=15,
+        sample_size=75,
+        image_dim=3,      # image space for cheap non-leaf routing
+        threshold=2.0,    # strings within 2 edits of a clustroid merge
+        seed=1,
+    ).fit(ds.strings)
+    labels = model.assign(ds.strings, via="tree")
+    elapsed = time.perf_counter() - start
+
+    mis = misplaced_count(ds.labels, labels)
+    print(f"\nBUBBLE-FM: {model.n_subclusters_} clusters in {elapsed:.2f}s, "
+          f"{metric.n_calls} edit-distance evaluations "
+          f"({metric.n_hits} cache hits), {mis} misplaced records")
+
+    print("\nsample clusters (clustroid <- members):")
+    shown = 0
+    for sub in sorted(model.subclusters_, key=lambda s: -s.n):
+        if len(sub.representatives) > 2 and shown < 4:
+            members = ", ".join(repr(r) for r in sub.representatives[:4])
+            print(f"  {sub.clustroid!r}  <-  {members}")
+            shown += 1
+
+    # --- the RED baseline --------------------------------------------------
+    start = time.perf_counter()
+    red = REDClusterer(threshold=0.25).fit(ds.strings)
+    red_elapsed = time.perf_counter() - start
+    red_mis = misplaced_count(ds.labels, red.labels_)
+    print(f"\nRED:       {red.n_clusters_} clusters in {red_elapsed:.2f}s, "
+          f"{red.metric.n_calls} distance evaluations, {red_mis} misplaced")
+
+    print("\nNote how BUBBLE-FM's call count stays in the tens of calls per "
+          "distinct record\n(tree routing + FastMap) while RED compares "
+          "every new record against every\ncluster representative.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""The classic BIRCH cluster feature ``CF = (N, LS, SS)``.
+
+``N`` is the number of points, ``LS`` their vector sum and ``SS`` the sum of
+squared norms. CFs are additive — merging two clusters adds the triples —
+which is exactly the vector-space shortcut unavailable in distance spaces
+that motivated BUBBLE.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.features import ClusterFeature
+from repro.exceptions import ParameterError
+
+__all__ = ["VectorClusterFeature"]
+
+
+class VectorClusterFeature(ClusterFeature):
+    """Additive vector CF with centroid/radius derived in O(dim).
+
+    The threshold requirement follows BIRCH: an insertion is admitted only
+    if the cluster's *radius after the insertion* stays within ``T``
+    (computable from CF algebra alone, no distance calls).
+    """
+
+    __slots__ = ("n", "ls", "ss")
+
+    def __init__(self, obj=None, n: int = 0, ls: np.ndarray | None = None, ss: float = 0.0):
+        if obj is not None:
+            vec = np.asarray(obj, dtype=np.float64)
+            self.n = 1
+            self.ls = vec.copy()
+            self.ss = float(np.dot(vec, vec))
+        else:
+            if ls is None or n <= 0:
+                raise ParameterError("either obj or (n, ls, ss) must be provided")
+            self.n = int(n)
+            self.ls = np.asarray(ls, dtype=np.float64).copy()
+            self.ss = float(ss)
+
+    # ------------------------------------------------------------------
+    @property
+    def centroid(self) -> np.ndarray:
+        return self.ls / self.n
+
+    @property
+    def clustroid(self) -> np.ndarray:
+        """Alias so the framework's routing/reporting code works unchanged.
+
+        BIRCH's cluster center is the true centroid — generally not a member
+        object, which is precisely what a distance space cannot offer.
+        """
+        return self.centroid
+
+    @property
+    def radius(self) -> float:
+        c = self.ls / self.n
+        r2 = self.ss / self.n - float(np.dot(c, c))
+        return float(np.sqrt(max(r2, 0.0)))
+
+    @property
+    def representatives(self) -> list:
+        return [self.centroid]
+
+    # ------------------------------------------------------------------
+    def absorb(self, obj, dist_to_clustroid: float | None = None) -> None:
+        vec = np.asarray(obj, dtype=np.float64)
+        self.n += 1
+        self.ls += vec
+        self.ss += float(np.dot(vec, vec))
+
+    def merge(self, other: "VectorClusterFeature") -> None:
+        self.n += other.n
+        self.ls += other.ls
+        self.ss += other.ss
+
+    def distance_to(self, other: "VectorClusterFeature") -> float:
+        return float(np.linalg.norm(self.centroid - other.centroid))
+
+    # ------------------------------------------------------------------
+    def admits(self, obj, dist: float, threshold: float) -> bool:
+        vec = np.asarray(obj, dtype=np.float64)
+        return self._radius_after(1, vec, float(np.dot(vec, vec))) <= threshold
+
+    def admits_feature(self, other: "VectorClusterFeature", dist: float, threshold: float) -> bool:
+        return self._radius_after(other.n, other.ls, other.ss) <= threshold
+
+    def _radius_after(self, dn: int, dls: np.ndarray, dss: float) -> float:
+        n = self.n + dn
+        ls = self.ls + dls
+        r2 = (self.ss + dss) / n - float(np.dot(ls, ls)) / (n * n)
+        return float(np.sqrt(max(r2, 0.0)))
+
+    def copy(self) -> "VectorClusterFeature":
+        return VectorClusterFeature(n=self.n, ls=self.ls, ss=self.ss)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"VectorClusterFeature(n={self.n}, radius={self.radius:.4g})"

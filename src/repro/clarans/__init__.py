@@ -1,0 +1,12 @@
+"""CLARANS: randomized medoid search (Ng & Han, VLDB 1994).
+
+Section 2 discusses CLARANS as the prior medoid-based method for spatial
+data mining; we include a faithful implementation as a main-memory
+comparator — it illustrates exactly the drawbacks the paper cites (all
+objects must fit in memory; cost grows steeply with N), which the
+ablation benchmarks quantify.
+"""
+
+from repro.clarans.clarans import CLARANS
+
+__all__ = ["CLARANS"]

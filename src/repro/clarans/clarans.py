@@ -1,0 +1,178 @@
+"""CLARANS: Clustering Large Applications based on RANdomized Search.
+
+K-medoid clustering as a search over the graph whose nodes are medoid sets
+and whose edges swap one medoid for one non-medoid. From a random node,
+CLARANS examines up to ``max_neighbors`` random swaps; any cost-improving
+swap is taken immediately, and a node none of whose sampled neighbours
+improves it is a local optimum. The best of ``num_local`` local optima wins.
+
+The swap evaluation uses the standard incremental cost delta from cached
+nearest/second-nearest medoid distances, so one candidate swap costs O(N)
+distance calls rather than O(N * K).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import EmptyDatasetError, NotFittedError, ParameterError
+from repro.metrics.base import DistanceFunction
+from repro.utils.rng import ensure_rng
+
+__all__ = ["CLARANS"]
+
+
+class CLARANS:
+    """Randomized k-medoid search over a distance space.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of medoids ``k``.
+    metric:
+        The distance function (NCD accumulates on it).
+    num_local:
+        Local optima to collect (the paper's ``numlocal``; default 2).
+    max_neighbors:
+        Random swaps examined per node before declaring a local optimum;
+        defaults to ``max(250, 1.25% of k * (N - k))`` as recommended by
+        Ng & Han.
+    seed:
+        Seed or generator.
+
+    Attributes
+    ----------
+    medoids_:
+        The winning medoid objects.
+    labels_:
+        Index of the closest medoid per object.
+    cost_:
+        Total distance of objects to their closest medoid.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        metric: DistanceFunction,
+        num_local: int = 2,
+        max_neighbors: int | None = None,
+        seed=None,
+    ):
+        if n_clusters < 1:
+            raise ParameterError(f"n_clusters must be >= 1, got {n_clusters}")
+        if num_local < 1:
+            raise ParameterError(f"num_local must be >= 1, got {num_local}")
+        if max_neighbors is not None and max_neighbors < 1:
+            raise ParameterError(f"max_neighbors must be >= 1, got {max_neighbors}")
+        self.n_clusters = int(n_clusters)
+        self.metric = metric
+        self.num_local = int(num_local)
+        self.max_neighbors = max_neighbors
+        self._rng = ensure_rng(seed)
+        self.medoids_: list | None = None
+        self.labels_: np.ndarray | None = None
+        self.cost_: float | None = None
+
+    # ------------------------------------------------------------------
+    def fit(self, objects: Sequence) -> "CLARANS":
+        objects = list(objects)
+        n = len(objects)
+        if n == 0:
+            raise EmptyDatasetError("CLARANS.fit requires at least one object")
+        if self.n_clusters > n:
+            raise ParameterError(f"n_clusters={self.n_clusters} exceeds dataset size {n}")
+        k = self.n_clusters
+        max_neighbors = self.max_neighbors
+        if max_neighbors is None:
+            max_neighbors = max(250, int(0.0125 * k * (n - k)))
+
+        best_cost = np.inf
+        best_medoids: np.ndarray | None = None
+        for _ in range(self.num_local):
+            medoids = self._rng.choice(n, size=k, replace=False)
+            nearest, second, near_lab = self._distances_to_medoids(objects, medoids)
+            cost = float(nearest.sum())
+            examined = 0
+            while examined < max_neighbors:
+                swap_out = int(self._rng.integers(0, k))
+                swap_in = int(self._rng.integers(0, n))
+                if swap_in in medoids:
+                    examined += 1
+                    continue
+                delta, d_new = self._swap_delta(
+                    objects, medoids, swap_out, swap_in, nearest, second, near_lab
+                )
+                if delta < -1e-12:
+                    medoids[swap_out] = swap_in
+                    nearest, second, near_lab = self._apply_swap(
+                        objects, medoids, swap_out, d_new, nearest, second, near_lab
+                    )
+                    cost += delta
+                    examined = 0
+                else:
+                    examined += 1
+            if cost < best_cost:
+                best_cost = cost
+                best_medoids = medoids.copy()
+
+        nearest, _, labels = self._distances_to_medoids(objects, best_medoids)
+        self.medoids_ = [objects[int(i)] for i in best_medoids]
+        self.labels_ = labels
+        self.cost_ = float(nearest.sum())
+        return self
+
+    # ------------------------------------------------------------------
+    def _distances_to_medoids(self, objects, medoids):
+        """Nearest and second-nearest medoid distance (and nearest label)
+        for every object."""
+        cols = [self.metric.one_to_many(objects[int(m)], objects) for m in medoids]
+        dmat = np.vstack(cols)  # (k, n)
+        order = np.argsort(dmat, axis=0)
+        near_lab = order[0]
+        nearest = dmat[near_lab, np.arange(dmat.shape[1])]
+        if dmat.shape[0] > 1:
+            second = dmat[order[1], np.arange(dmat.shape[1])]
+        else:
+            second = np.full(dmat.shape[1], np.inf)
+        return nearest, second, near_lab.astype(np.intp)
+
+    def _swap_delta(self, objects, medoids, swap_out, swap_in, nearest, second, near_lab):
+        """Cost change of replacing medoid ``swap_out`` with object
+        ``swap_in`` — O(N) distance calls."""
+        d_new = self.metric.one_to_many(objects[swap_in], objects)
+        lost = near_lab == swap_out
+        # Objects losing their medoid go to min(second-best, new); the rest
+        # may only improve by switching to the new medoid.
+        new_assign = np.where(lost, np.minimum(second, d_new), np.minimum(nearest, d_new))
+        return float(new_assign.sum() - nearest.sum()), d_new
+
+    def _apply_swap(self, objects, medoids, swap_out, d_new, nearest, second, near_lab):
+        """Recompute the nearest/second caches after an accepted swap.
+
+        A full recomputation against the current medoid set keeps the cache
+        exact; it reuses the just-computed column for the incoming medoid.
+        """
+        cols = []
+        for j, m in enumerate(medoids):
+            if j == swap_out:
+                cols.append(d_new)
+            else:
+                cols.append(self.metric.one_to_many(objects[int(m)], objects))
+        dmat = np.vstack(cols)
+        order = np.argsort(dmat, axis=0)
+        near_lab = order[0]
+        nearest = dmat[near_lab, np.arange(dmat.shape[1])]
+        if dmat.shape[0] > 1:
+            second = dmat[order[1], np.arange(dmat.shape[1])]
+        else:
+            second = np.full(dmat.shape[1], np.inf)
+        return nearest, second, near_lab.astype(np.intp)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_clusters_(self) -> int:
+        if self.medoids_ is None:
+            raise NotFittedError("CLARANS has not been fitted")
+        return len(self.medoids_)

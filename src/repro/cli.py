@@ -1,0 +1,237 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands cover the end-to-end workflows:
+
+* ``generate`` — write a synthetic workload (ds1 / ds2 / cell / strings) to
+  a file, with ground-truth labels alongside;
+* ``cluster`` — single-scan pre-clustering of a vector CSV or a string file,
+  optional hierarchical global phase, labels written one per line;
+* ``authority`` — build an authority file from records (Section 7), writing
+  ``canonical<TAB>member`` lines.
+
+The CLI is a thin veneer over the library; every option maps 1:1 onto an
+API parameter documented there.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro import __version__
+from repro.datasets import (
+    make_authority_dataset,
+    make_cell_dataset,
+    make_ds1,
+    make_ds2,
+    stream_strings,
+    stream_vectors,
+    write_string_file,
+    write_vector_file,
+)
+from repro.metrics import (
+    DamerauLevenshteinDistance,
+    EditDistance,
+    EuclideanDistance,
+    ManhattanDistance,
+)
+from repro.pipelines import build_authority_file, cluster_dataset
+
+__all__ = ["main"]
+
+_VECTOR_METRICS = {
+    "euclidean": EuclideanDistance,
+    "manhattan": ManhattanDistance,
+}
+_STRING_METRICS = {
+    "edit": EditDistance,
+    "damerau": DamerauLevenshteinDistance,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BUBBLE/BUBBLE-FM: clustering large datasets in arbitrary metric spaces",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="write a synthetic workload to a file")
+    gen.add_argument("dataset", choices=["ds1", "ds2", "cell", "strings"])
+    gen.add_argument("output", help="output file (CSV for vectors, lines for strings)")
+    gen.add_argument("--labels", help="also write ground-truth labels here")
+    gen.add_argument("--n-points", type=int, default=10_000)
+    gen.add_argument("--n-clusters", type=int, default=50)
+    gen.add_argument("--dim", type=int, default=20, help="dimensionality (cell only)")
+    gen.add_argument("--seed", type=int, default=0)
+
+    clu = sub.add_parser("cluster", help="cluster a vector CSV or string file")
+    clu.add_argument("input", help="input file")
+    clu.add_argument("--type", choices=["vectors", "strings"], required=True)
+    clu.add_argument("--metric", default=None,
+                     help="euclidean|manhattan (vectors), edit|damerau (strings)")
+    clu.add_argument("--algorithm", choices=["bubble", "bubble-fm"], default="bubble")
+    clu.add_argument("--n-clusters", type=int, default=None,
+                     help="run the hierarchical global phase down to K clusters")
+    clu.add_argument("--max-nodes", type=int, default=None)
+    clu.add_argument("--threshold", type=float, default=0.0)
+    clu.add_argument("--image-dim", type=int, default=3)
+    clu.add_argument("--output", help="write one label per input line here")
+    clu.add_argument("--seed", type=int, default=0)
+
+    auth = sub.add_parser("authority", help="build an authority file from records")
+    auth.add_argument("input", help="one record per line")
+    auth.add_argument("output", help="canonical<TAB>member lines")
+    auth.add_argument("--threshold", type=float, default=2.0)
+    auth.add_argument("--image-dim", type=int, default=3)
+    auth.add_argument("--assignment", choices=["tree", "linear"], default="tree")
+    auth.add_argument("--seed", type=int, default=0)
+
+    ev = sub.add_parser(
+        "evaluate", help="score predicted labels against ground truth"
+    )
+    ev.add_argument("predicted", help="one integer label per line")
+    ev.add_argument("truth", help="one integer label per line")
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    if args.dataset == "strings":
+        ds = make_authority_dataset(
+            n_classes=args.n_clusters, n_strings=args.n_points, seed=args.seed
+        )
+        write_string_file(args.output, ds.strings)
+        labels = ds.labels
+    else:
+        if args.dataset == "ds1":
+            ds = make_ds1(n_points=args.n_points, seed=args.seed)
+        elif args.dataset == "ds2":
+            ds = make_ds2(n_points=args.n_points, n_clusters=args.n_clusters, seed=args.seed)
+        else:
+            ds = make_cell_dataset(
+                dim=args.dim, n_clusters=args.n_clusters,
+                n_points=args.n_points, seed=args.seed,
+            )
+        write_vector_file(args.output, ds.as_objects())
+        labels = ds.labels
+    if args.labels:
+        with open(args.labels, "w", encoding="ascii") as f:
+            for lab in labels:
+                f.write(f"{int(lab)}\n")
+    print(f"wrote {args.n_points} objects to {args.output}")
+    return 0
+
+
+def _cmd_cluster(args) -> int:
+    if args.type == "vectors":
+        metric_name = args.metric or "euclidean"
+        if metric_name not in _VECTOR_METRICS:
+            print(f"error: unknown vector metric {metric_name!r}", file=sys.stderr)
+            return 2
+        metric = _VECTOR_METRICS[metric_name]()
+        objects = list(stream_vectors(args.input))
+    else:
+        metric_name = args.metric or "edit"
+        if metric_name not in _STRING_METRICS:
+            print(f"error: unknown string metric {metric_name!r}", file=sys.stderr)
+            return 2
+        metric = _STRING_METRICS[metric_name]()
+        objects = list(stream_strings(args.input))
+    if not objects:
+        print("error: input file holds no objects", file=sys.stderr)
+        return 2
+
+    n_clusters = args.n_clusters if args.n_clusters is not None else 0
+    result = cluster_dataset(
+        objects,
+        metric,
+        n_clusters=n_clusters if n_clusters > 0 else max(1, len(objects)),
+        algorithm=args.algorithm,
+        max_nodes=args.max_nodes,
+        image_dim=args.image_dim,
+        assign=True,
+        seed=args.seed,
+    )
+    labels = result.labels
+    print(f"{len(objects)} objects -> {len(result.subclusters)} sub-clusters"
+          f" -> {result.n_clusters} clusters")
+    print(f"distance calls: {result.n_distance_calls}, "
+          f"time: {result.total_seconds:.2f}s")
+    if args.output:
+        with open(args.output, "w", encoding="ascii") as f:
+            for lab in labels:
+                f.write(f"{int(lab)}\n")
+        print(f"labels written to {args.output}")
+    return 0
+
+
+def _cmd_authority(args) -> int:
+    records = list(stream_strings(args.input))
+    if not records:
+        print("error: input file holds no records", file=sys.stderr)
+        return 2
+    af = build_authority_file(
+        records,
+        threshold=args.threshold,
+        image_dim=args.image_dim,
+        assignment=args.assignment,
+        seed=args.seed,
+    )
+    with open(args.output, "w", encoding="utf-8") as f:
+        for canonical, members in zip(af.canonical, af.members):
+            for member in members:
+                f.write(f"{canonical}\t{member}\n")
+    print(f"{len(records)} records -> {af.n_classes} classes "
+          f"({af.n_distance_calls} distance calls, {af.seconds:.2f}s)")
+    print(f"authority file written to {args.output}")
+    return 0
+
+
+def _read_labels(path: str) -> np.ndarray:
+    with open(path, "r", encoding="ascii") as f:
+        return np.asarray([int(line) for line in f if line.strip()], dtype=np.intp)
+
+
+def _cmd_evaluate(args) -> int:
+    from repro.evaluation import (
+        adjusted_rand_index,
+        hungarian_accuracy,
+        misplaced_count,
+        rand_index,
+    )
+
+    predicted = _read_labels(args.predicted)
+    truth = _read_labels(args.truth)
+    if predicted.shape != truth.shape:
+        print(
+            f"error: {len(predicted)} predictions vs {len(truth)} truth labels",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"objects:             {len(predicted)}")
+    print(f"predicted clusters:  {len(set(predicted.tolist()))}")
+    print(f"true classes:        {len(set(truth.tolist()))}")
+    print(f"adjusted Rand index: {adjusted_rand_index(truth, predicted):.4f}")
+    print(f"Rand index:          {rand_index(truth, predicted):.4f}")
+    print(f"misplaced objects:   {misplaced_count(truth, predicted)}")
+    print(f"Hungarian accuracy:  {hungarian_accuracy(truth, predicted):.4f}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "cluster":
+        return _cmd_cluster(args)
+    if args.command == "evaluate":
+        return _cmd_evaluate(args)
+    return _cmd_authority(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

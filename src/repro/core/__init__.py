@@ -1,0 +1,38 @@
+"""The BIRCH* framework and its distance-space instantiations.
+
+Module map (paper section in parentheses):
+
+* :mod:`repro.core.features` — generalized cluster features CF* (3.1) and the
+  BUBBLE leaf-level CF* with clustroid / RowSum / representative-object
+  maintenance (4.1);
+* :mod:`repro.core.nodes` — CF*-tree node structures (3.2);
+* :mod:`repro.core.policy` — the abstract instantiation interface: what a
+  concrete algorithm must supply to the framework (3.2, last paragraph);
+* :mod:`repro.core.cftree` — the CF*-tree itself: insertion, splitting,
+  threshold test, rebuilding (3.2);
+* :mod:`repro.core.threshold` — threshold-growth heuristic used on rebuild;
+* :mod:`repro.core.bubble` — BUBBLE: sample-object routing at non-leaf
+  nodes (4.2);
+* :mod:`repro.core.bubble_fm` — BUBBLE-FM: FastMap image spaces at non-leaf
+  nodes (5);
+* :mod:`repro.core.preclusterer` — user-facing single-scan pre-clustering
+  drivers.
+"""
+
+from repro.core.bubble import BubblePolicy
+from repro.core.bubble_fm import BubbleFMPolicy
+from repro.core.cftree import CFTree
+from repro.core.features import BubbleClusterFeature, ClusterFeature, SubCluster
+from repro.core.preclusterer import BUBBLE, BUBBLEFM, PreClusterer
+
+__all__ = [
+    "ClusterFeature",
+    "BubbleClusterFeature",
+    "SubCluster",
+    "CFTree",
+    "BubblePolicy",
+    "BubbleFMPolicy",
+    "PreClusterer",
+    "BUBBLE",
+    "BUBBLEFM",
+]

@@ -1,0 +1,157 @@
+"""BUBBLE: the first BIRCH* instantiation for distance spaces (Section 4).
+
+Leaf level: the :class:`~repro.core.features.BubbleClusterFeature` with
+clustroid/RowSum/representative maintenance, routed and threshold-tested via
+the clustroid distance ``D0``.
+
+Non-leaf level: each entry NL_i carries **sample objects** ``S(NL_i)`` drawn
+bottom-up from its child — random clustroids if the child is a leaf, random
+members of the child's own samples otherwise (Section 4.2.1). The number of
+samples at a node is capped by the *sample size* ``SS``; child ``i`` with
+``n_i`` entries contributes ``max(floor(n_i * SS / sum_j n_j), 1)`` so every
+child keeps at least one representative. A new object is routed to the entry
+minimizing ``D2({O}, S(NL_i))``, the average inter-cluster distance of
+Definition 4.4. Samples at a node are refreshed whenever one of its children
+splits (Section 4.2.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.features import (
+    BubbleClusterFeature,
+    average_inter_cluster_distance,
+)
+from repro.core.nodes import LeafNode, NonLeafNode
+from repro.core.policy import BirchStarPolicy
+from repro.exceptions import ParameterError, TreeInvariantError
+from repro.metrics.base import DistanceFunction
+from repro.utils.rng import ensure_rng
+from repro.utils.sampling import sample_without_replacement
+from repro.utils.validation import check_integer
+
+__all__ = ["BubblePolicy"]
+
+
+class _SampleCache:
+    """Node-level cache: the concatenation of all entry samples plus the
+    segment boundaries, so one batched ``one_to_many`` serves a whole node."""
+
+    __slots__ = ("flat", "offsets")
+
+    def __init__(self, flat: list, offsets: np.ndarray):
+        self.flat = flat
+        self.offsets = offsets
+
+
+class BubblePolicy(BirchStarPolicy):
+    """The components BUBBLE plugs into the BIRCH* framework.
+
+    Parameters
+    ----------
+    metric:
+        Distance function of the space.
+    representation_number:
+        ``2p``, the number of representative objects per leaf cluster
+        (paper default 10).
+    sample_size:
+        ``SS``, the cap on sample objects per non-leaf node (paper default
+        75 = 5 * branching factor).
+    seed:
+        Seed/generator driving sample selection.
+    """
+
+    def __init__(
+        self,
+        metric: DistanceFunction,
+        representation_number: int = 10,
+        sample_size: int = 75,
+        seed: int | np.random.Generator | None = None,
+    ):
+        if not isinstance(metric, DistanceFunction):
+            raise ParameterError("metric must be a DistanceFunction")
+        self.metric = metric
+        self.representation_number = check_integer(
+            representation_number, "representation_number", minimum=2
+        )
+        self.sample_size = check_integer(sample_size, "sample_size", minimum=1)
+        self._rng = ensure_rng(seed)
+
+    # ------------------------------------------------------------------
+    # Leaf level (D0 everywhere)
+    # ------------------------------------------------------------------
+    def new_leaf_feature(self, obj) -> BubbleClusterFeature:
+        return BubbleClusterFeature(self.metric, obj, self.representation_number)
+
+    def leaf_distances(self, node: LeafNode, obj) -> np.ndarray:
+        clustroids = [feature.clustroid for feature in node.entries]
+        return self.metric.one_to_many(obj, clustroids)
+
+    def leaf_entry_distance(self, a, b) -> float:
+        return self.metric.distance(a.clustroid, b.clustroid)
+
+    def leaf_entry_matrix(self, entries) -> np.ndarray:
+        return self.metric.pairwise([feature.clustroid for feature in entries])
+
+    # ------------------------------------------------------------------
+    # Non-leaf level (sample objects, D2)
+    # ------------------------------------------------------------------
+    def nonleaf_distances(self, node: NonLeafNode, obj) -> np.ndarray:
+        cache = self._node_cache(node)
+        dists = self.metric.one_to_many(obj, cache.flat)
+        sq = dists**2
+        offsets = cache.offsets
+        out = np.empty(len(node.entries), dtype=np.float64)
+        for i in range(len(out)):
+            seg = sq[offsets[i] : offsets[i + 1]]
+            out[i] = np.sqrt(seg.mean())
+        return out
+
+    def nonleaf_entry_distances(self, node: NonLeafNode) -> np.ndarray:
+        entries = node.entries
+        n = len(entries)
+        out = np.zeros((n, n), dtype=np.float64)
+        for i in range(n):
+            for j in range(i + 1, n):
+                d = average_inter_cluster_distance(
+                    self.metric, entries[i].summary, entries[j].summary
+                )
+                out[i, j] = d
+                out[j, i] = d
+        return out
+
+    def refresh_node(self, node: NonLeafNode) -> None:
+        """Redraw sample objects for every entry of ``node`` (Section 4.2.2)."""
+        entry_sizes = [len(entry.child.entries) for entry in node.entries]
+        total = sum(entry_sizes)
+        flat: list = []
+        offsets = [0]
+        for entry, n_i in zip(node.entries, entry_sizes):
+            quota = max((n_i * self.sample_size) // max(total, 1), 1)
+            pool = self._sample_pool(entry.child)
+            entry.summary = sample_without_replacement(pool, quota, self._rng)
+            flat.extend(entry.summary)
+            offsets.append(len(flat))
+        node.aux = _SampleCache(flat, np.asarray(offsets, dtype=np.intp))
+
+    def _sample_pool(self, child) -> list:
+        """Objects a non-leaf entry may sample from: the child's clustroids
+        if it is a leaf, otherwise the union of the child's own samples."""
+        if child.is_leaf:
+            return [feature.clustroid for feature in child.entries]
+        pool: list = []
+        for entry in child.entries:
+            if entry.summary:
+                pool.extend(entry.summary)
+        if not pool:
+            raise TreeInvariantError(
+                "non-leaf child has no samples to draw from; refresh order violated"
+            )
+        return pool
+
+    def _node_cache(self, node: NonLeafNode) -> _SampleCache:
+        if node.aux is None or not isinstance(node.aux, _SampleCache):
+            # Defensive: a node should always be refreshed on creation.
+            self.refresh_node(node)
+        return node.aux

@@ -1,0 +1,324 @@
+"""Generalized cluster features (CF*) — Sections 3.1 and 4.1 of the paper.
+
+A CF* is the condensed representation of one evolving cluster. It must be
+(1) incrementally updatable when an object is inserted and (2) sufficient to
+compute inter-cluster distances and quality metrics such as the radius.
+
+:class:`BubbleClusterFeature` is the leaf-level CF* of BUBBLE and BUBBLE-FM:
+
+* ``n`` — number of objects in the cluster;
+* the **clustroid** — the member object minimizing RowSum (the sum of
+  squared distances to all other members), i.e. the generalization of the
+  centroid to distance spaces (Definition 4.1 / Lemma 4.2);
+* up to ``2p`` **representative objects**: the ``p`` lowest-RowSum members
+  (nearest the clustroid — these track clustroid drift under Type I
+  insertions, justified by Observation 2) and the ``p`` highest-RowSum
+  members (the cluster periphery — these track the clustroid jump under
+  Type II merges, whose new clustroid lands midway between the old ones);
+* the RowSum value of each representative;
+* the cluster **radius** ``r = sqrt(RowSum(clustroid) / n)``
+  (Definition 4.3).
+
+While the cluster holds at most ``2p`` objects the feature keeps *all* of
+them and every RowSum is exact; beyond that it switches to the heuristic
+maintenance of Section 4.1.2, estimating the RowSum of an incoming object by
+Observation 1::
+
+    RowSum(O_new)  ≈  n * r^2 + n * d^2(clustroid, O_new)
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.metrics.base import DistanceFunction
+
+__all__ = [
+    "ClusterFeature",
+    "BubbleClusterFeature",
+    "SubCluster",
+    "average_inter_cluster_distance",
+    "object_to_set_distance",
+]
+
+
+def object_to_set_distance(metric: DistanceFunction, obj, objects: Sequence) -> float:
+    """``D2({obj}, objects)``: the average inter-cluster distance of Def. 4.4
+    between a singleton and a set — the routing distance BUBBLE uses at
+    non-leaf nodes. Counts ``len(objects)`` distance calls."""
+    dists = metric.one_to_many(obj, objects)
+    return float(np.sqrt(np.mean(dists**2)))
+
+
+def average_inter_cluster_distance(
+    metric: DistanceFunction, objects_a: Sequence, objects_b: Sequence
+) -> float:
+    """``D2(A, B)`` of Definition 4.4 between two object sets.
+
+    Counts ``|A| * |B|`` distance calls; used between non-leaf entries when a
+    node must be split and no image space is available.
+    """
+    if not objects_a or not objects_b:
+        raise ParameterError("D2 requires two non-empty object sets")
+    total = 0.0
+    for a in objects_a:
+        dists = metric.one_to_many(a, objects_b)
+        total += float(np.dot(dists, dists))
+    return float(np.sqrt(total / (len(objects_a) * len(objects_b))))
+
+
+class ClusterFeature(ABC):
+    """Abstract CF*: what the BIRCH* framework requires of a leaf feature."""
+
+    #: Number of objects summarized by this feature.
+    n: int
+
+    @property
+    @abstractmethod
+    def clustroid(self):
+        """The representative center object of the cluster."""
+
+    @property
+    @abstractmethod
+    def radius(self) -> float:
+        """Root-mean-square distance of members to the clustroid."""
+
+    @abstractmethod
+    def absorb(self, obj, dist_to_clustroid: float | None = None) -> None:
+        """Type I insertion: add a single object to the cluster."""
+
+    @abstractmethod
+    def merge(self, other: "ClusterFeature") -> None:
+        """Type II insertion: absorb another whole cluster (tree rebuild)."""
+
+    @abstractmethod
+    def distance_to(self, other: "ClusterFeature") -> float:
+        """Inter-cluster distance used for the threshold test and splits."""
+
+    def admits(self, obj, dist: float, threshold: float) -> bool:
+        """Threshold requirement: may ``obj`` (at distance ``dist`` from this
+        cluster) be absorbed without violating quality ``threshold``?
+
+        The default is the paper's D0 rule for BUBBLE: ``dist <= T``.
+        """
+        return dist <= threshold
+
+    def admits_feature(self, other: "ClusterFeature", dist: float, threshold: float) -> bool:
+        """Threshold requirement for merging another cluster into this one."""
+        return dist <= threshold
+
+
+class BubbleClusterFeature(ClusterFeature):
+    """Leaf-level CF* of BUBBLE/BUBBLE-FM (Section 4.1).
+
+    Parameters
+    ----------
+    metric:
+        Distance function of the space; all maintenance goes through it (and
+        is therefore counted toward NCD).
+    obj:
+        The first member of the new cluster.
+    representation_number:
+        The paper's ``2p``: total representative objects kept once the
+        cluster outgrows exact maintenance. Must be an even integer >= 2.
+    """
+
+    __slots__ = ("metric", "n", "rep_cap", "p", "exact", "_reps", "_rowsums", "_clustroid_idx")
+
+    def __init__(self, metric: DistanceFunction, obj, representation_number: int = 10):
+        if representation_number < 2 or representation_number % 2 != 0:
+            raise ParameterError(
+                f"representation_number (2p) must be an even integer >= 2, "
+                f"got {representation_number}"
+            )
+        self.metric = metric
+        self.rep_cap = int(representation_number)
+        self.p = self.rep_cap // 2
+        self.n = 1
+        #: True while every member object is kept and RowSums are exact.
+        self.exact = True
+        self._reps: list = [obj]
+        self._rowsums: list[float] = [0.0]
+        self._clustroid_idx = 0
+
+    # ------------------------------------------------------------------
+    # Summary statistics
+    # ------------------------------------------------------------------
+    @property
+    def clustroid(self):
+        return self._reps[self._clustroid_idx]
+
+    @property
+    def radius(self) -> float:
+        rowsum = max(self._rowsums[self._clustroid_idx], 0.0)
+        return float(np.sqrt(rowsum / self.n))
+
+    @property
+    def representatives(self) -> list:
+        """The representative objects currently kept (all members while exact)."""
+        return list(self._reps)
+
+    @property
+    def rowsums(self) -> list[float]:
+        """RowSum values parallel to :attr:`representatives`."""
+        return list(self._rowsums)
+
+    @property
+    def nearest_representatives(self) -> list:
+        """The (at most) ``p`` kept members closest to the clustroid."""
+        order = np.argsort(self._rowsums)
+        return [self._reps[i] for i in order[: self.p]]
+
+    @property
+    def peripheral_representatives(self) -> list:
+        """The kept members farthest from the clustroid (cluster periphery)."""
+        order = np.argsort(self._rowsums)
+        return [self._reps[i] for i in order[self.p :]]
+
+    # ------------------------------------------------------------------
+    # Type I insertion
+    # ------------------------------------------------------------------
+    def absorb(self, obj, dist_to_clustroid: float | None = None) -> None:
+        """Insert a single object (Section 4.1.2, Type I).
+
+        ``dist_to_clustroid`` is accepted for interface symmetry; the batch
+        update below measures the clustroid with the other representatives
+        in a single ``one_to_many`` call, so a precomputed value is not
+        reused.
+        """
+        dists = self.metric.one_to_many(obj, self._reps)
+        sq = dists**2
+        if self.exact:
+            rowsum_new = float(sq.sum())
+        else:
+            # Observation 1 estimate against the *current* cluster of size n.
+            d0 = float(dists[self._clustroid_idx])
+            rowsum_new = self.n * (self.radius**2 + d0**2)
+        for i in range(len(self._rowsums)):
+            self._rowsums[i] += float(sq[i])
+        self.n += 1
+
+        if len(self._reps) < self.rep_cap:
+            self._reps.append(obj)
+            self._rowsums.append(rowsum_new)
+        else:
+            if self.exact:
+                self.exact = False
+            # Replace the highest-RowSum member of the *nearest* set if the
+            # newcomer beats it (the paper's O_p replacement rule).
+            order = np.argsort(self._rowsums)
+            worst_near = int(order[self.p - 1])
+            if rowsum_new < self._rowsums[worst_near]:
+                self._reps[worst_near] = obj
+                self._rowsums[worst_near] = rowsum_new
+        self._clustroid_idx = int(np.argmin(self._rowsums))
+
+    # ------------------------------------------------------------------
+    # Type II insertion
+    # ------------------------------------------------------------------
+    def merge(self, other: "BubbleClusterFeature") -> None:
+        """Merge another cluster into this one (Section 4.1.2, Type II).
+
+        While both clusters are exact and the union fits within ``2p``
+        objects, the merged feature stays exact (all cross distances are
+        computed). Otherwise every kept representative of either side
+        becomes a clustroid candidate, its RowSum against the *other*
+        cluster estimated via Observation 1 from the other side's clustroid
+        and radius; the new clustroid is the candidate with the smallest
+        combined estimate — in practice an object midway between the two old
+        clustroids, which is why the periphery representatives are kept.
+        """
+        if not isinstance(other, BubbleClusterFeature):
+            raise ParameterError("BubbleClusterFeature can only merge with its own kind")
+        n1, n2 = self.n, other.n
+        if self.exact and other.exact and len(self._reps) + len(other._reps) <= self.rep_cap:
+            self._merge_exact(other)
+            return
+
+        r1_sq, r2_sq = self.radius**2, other.radius**2
+        c1, c2 = self.clustroid, other.clustroid
+        # d(o, other's clustroid) for each of our candidates, and vice versa.
+        d_to_c2 = self.metric.one_to_many(c2, self._reps)
+        d_to_c1 = self.metric.one_to_many(c1, other._reps)
+
+        cand_objs = list(self._reps) + list(other._reps)
+        cand_rows = [
+            rs + n2 * (r2_sq + float(d) ** 2)
+            for rs, d in zip(self._rowsums, d_to_c2)
+        ] + [
+            rs + n1 * (r1_sq + float(d) ** 2)
+            for rs, d in zip(other._rowsums, d_to_c1)
+        ]
+
+        self.n = n1 + n2
+        self.exact = False
+        if len(cand_objs) <= self.rep_cap:
+            self._reps = cand_objs
+            self._rowsums = cand_rows
+        else:
+            order = np.argsort(cand_rows)
+            keep = list(order[: self.p]) + list(order[len(order) - self.p :])
+            self._reps = [cand_objs[i] for i in keep]
+            self._rowsums = [cand_rows[i] for i in keep]
+        self._clustroid_idx = int(np.argmin(self._rowsums))
+
+    def _merge_exact(self, other: "BubbleClusterFeature") -> None:
+        """Exact merge: both member lists are complete, so recompute RowSums
+        from the full cross-distance matrix (``n1 * n2`` calls)."""
+        cross = np.array(
+            [self.metric.one_to_many(a, other._reps) for a in self._reps]
+        ).reshape(len(self._reps), len(other._reps))
+        cross_sq = cross**2
+        new_rowsums_self = [
+            rs + float(cross_sq[i].sum()) for i, rs in enumerate(self._rowsums)
+        ]
+        new_rowsums_other = [
+            rs + float(cross_sq[:, j].sum()) for j, rs in enumerate(other._rowsums)
+        ]
+        self._reps = list(self._reps) + list(other._reps)
+        self._rowsums = new_rowsums_self + new_rowsums_other
+        self.n += other.n
+        self._clustroid_idx = int(np.argmin(self._rowsums))
+
+    # ------------------------------------------------------------------
+    # Distances
+    # ------------------------------------------------------------------
+    def distance_to(self, other: "BubbleClusterFeature") -> float:
+        """``D0`` of Definition 4.4: distance between the two clustroids."""
+        return self.metric.distance(self.clustroid, other.clustroid)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BubbleClusterFeature(n={self.n}, radius={self.radius:.4g}, "
+            f"reps={len(self._reps)}, exact={self.exact})"
+        )
+
+
+@dataclass
+class SubCluster:
+    """Immutable snapshot of one discovered sub-cluster.
+
+    This is what a pre-clustering run returns for downstream analysis
+    (Section 2: the output of the pre-clustering phase feeds domain-specific
+    methods, in our pipelines a hierarchical clustering of the clustroids).
+    """
+
+    #: The cluster's clustroid (an actual member object).
+    clustroid: object
+    #: Number of objects absorbed into the cluster.
+    n: int
+    #: RMS distance of members to the clustroid.
+    radius: float
+    #: Representative member objects (including the clustroid).
+    representatives: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ParameterError(f"SubCluster.n must be >= 1, got {self.n}")
+        if self.radius < 0:
+            raise ParameterError(f"SubCluster.radius must be >= 0, got {self.radius}")

@@ -1,0 +1,69 @@
+"""CF*-tree node structures (Section 3.2).
+
+A CF*-tree is a height-balanced tree. Leaf nodes hold up to ``B`` leaf
+entries, each the CF* of one evolving cluster. Non-leaf nodes hold up to
+``B`` entries of the form ``(CF*, child)``; the non-leaf CF* exists only to
+*guide* new objects toward their prospective cluster, and its concrete
+content is owned by the algorithm policy (sample objects for BUBBLE, sample
+objects plus an image-space centroid for BUBBLE-FM, an additive vector CF
+for BIRCH).
+"""
+
+from __future__ import annotations
+
+from repro.core.features import ClusterFeature
+
+__all__ = ["LeafNode", "NonLeafNode", "NonLeafEntry"]
+
+
+class LeafNode:
+    """A leaf node: a list of leaf-level cluster features."""
+
+    __slots__ = ("entries",)
+    is_leaf = True
+
+    def __init__(self, entries: list[ClusterFeature] | None = None):
+        self.entries: list[ClusterFeature] = entries if entries is not None else []
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LeafNode({len(self.entries)} entries)"
+
+
+class NonLeafEntry:
+    """One ``(CF*, child)`` pair of a non-leaf node.
+
+    ``summary`` is policy-owned: the BIRCH* framework never inspects it, it
+    only asks the policy to refresh it and to measure distances against it.
+    """
+
+    __slots__ = ("child", "summary")
+
+    def __init__(self, child, summary=None):
+        self.child = child
+        self.summary = summary
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "leaf" if self.child.is_leaf else "non-leaf"
+        return f"NonLeafEntry({kind} child, {len(self.child.entries)} entries)"
+
+
+class NonLeafNode:
+    """A non-leaf node: entries guiding descent, plus policy-owned ``aux``
+    state shared by the whole node (BUBBLE-FM stores its per-node FastMap
+    there)."""
+
+    __slots__ = ("entries", "aux")
+    is_leaf = False
+
+    def __init__(self, entries: list[NonLeafEntry] | None = None):
+        self.entries: list[NonLeafEntry] = entries if entries is not None else []
+        self.aux = None
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NonLeafNode({len(self.entries)} entries)"

@@ -1,0 +1,14 @@
+"""CURE (Guha, Rastogi & Shim, SIGMOD 1998) — vector-space comparator.
+
+Section 2: "CURE is a sampling-based hierarchical clustering algorithm that
+is able to discover clusters of arbitrary shapes. However, it relies on
+vector operations and therefore cannot cluster data in a distance space."
+We implement it as the second coordinate-space baseline (next to BIRCH): it
+demonstrates concretely *which* vector operations (means, coordinate
+shrinking of representatives) a distance space denies — the very operations
+BUBBLE's clustroid machinery replaces.
+"""
+
+from repro.cure.cure import CURE
+
+__all__ = ["CURE"]

@@ -1,0 +1,36 @@
+"""Clustering-quality and cost metrics used in the paper's evaluation.
+
+Section 6.1 defines: **distortion** (tightness of the clusters), **clustroid
+quality (CQ)** (how close discovered centers are to the true centroids), and
+**NCD** (number of calls to the distance function, read straight off any
+:class:`~repro.metrics.DistanceFunction`). Section 7 adds the count of
+**misplaced strings** for the data-cleaning application.
+"""
+
+from repro.evaluation.matching import (
+    confusion_matrix,
+    hungarian_accuracy,
+    majority_mapping,
+)
+from repro.evaluation.metrics import (
+    adjusted_rand_index,
+    clustroid_quality,
+    distortion,
+    min_possible_clustroid_quality,
+    misplaced_count,
+    rand_index,
+    silhouette_score,
+)
+
+__all__ = [
+    "distortion",
+    "clustroid_quality",
+    "min_possible_clustroid_quality",
+    "misplaced_count",
+    "silhouette_score",
+    "rand_index",
+    "adjusted_rand_index",
+    "confusion_matrix",
+    "majority_mapping",
+    "hungarian_accuracy",
+]

@@ -1,0 +1,57 @@
+"""Matching discovered clusters to ground-truth classes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+
+__all__ = ["confusion_matrix", "majority_mapping", "hungarian_accuracy"]
+
+
+def _check_labels(labels_true, labels_pred) -> tuple[np.ndarray, np.ndarray]:
+    lt = np.asarray(labels_true, dtype=np.intp)
+    lp = np.asarray(labels_pred, dtype=np.intp)
+    if lt.shape != lp.shape or lt.ndim != 1:
+        raise ParameterError(
+            f"label arrays must be equal-length 1-d, got {lt.shape} and {lp.shape}"
+        )
+    if lt.size == 0:
+        raise ParameterError("label arrays must be non-empty")
+    if lt.min() < 0 or lp.min() < 0:
+        raise ParameterError("labels must be non-negative integers")
+    return lt, lp
+
+
+def confusion_matrix(labels_true, labels_pred) -> np.ndarray:
+    """Contingency table: rows are true classes, columns predicted clusters."""
+    lt, lp = _check_labels(labels_true, labels_pred)
+    n_true = int(lt.max()) + 1
+    n_pred = int(lp.max()) + 1
+    out = np.zeros((n_true, n_pred), dtype=np.int64)
+    np.add.at(out, (lt, lp), 1)
+    return out
+
+
+def majority_mapping(labels_true, labels_pred) -> np.ndarray:
+    """Map each predicted cluster to the true class of most of its members.
+
+    Returns an array ``m`` with ``m[pred_cluster] = true_class``. This is
+    how we operationalize the paper's "misplaced string": a record is
+    misplaced when it disagrees with its cluster's majority class.
+    """
+    cm = confusion_matrix(labels_true, labels_pred)
+    return cm.argmax(axis=0)
+
+
+def hungarian_accuracy(labels_true, labels_pred) -> float:
+    """Best-case accuracy under an optimal one-to-one cluster/class matching.
+
+    Uses scipy's linear_sum_assignment; stricter than the majority mapping
+    because each class may claim at most one cluster.
+    """
+    from scipy.optimize import linear_sum_assignment
+
+    cm = confusion_matrix(labels_true, labels_pred)
+    rows, cols = linear_sum_assignment(-cm)
+    return float(cm[rows, cols].sum()) / float(cm.sum())

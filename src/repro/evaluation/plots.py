@@ -1,0 +1,105 @@
+"""Terminal-friendly plotting for the paper's figures.
+
+The evaluation environment is a terminal, so the scatter plots of
+Figures 1–3 and the line plots of Figures 4–6 are rendered as ASCII/Unicode
+text. These renderers are deliberately simple — fixed canvas, automatic
+axis scaling, multiple series by marker character — but faithful enough to
+eyeball whether the DS2 clustroids trace the sine wave.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+
+__all__ = ["ascii_scatter", "ascii_lines"]
+
+
+def _canvas(width: int, height: int) -> list[list[str]]:
+    return [[" "] * width for _ in range(height)]
+
+
+def _bounds(xs: np.ndarray, ys: np.ndarray) -> tuple[float, float, float, float]:
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    y_lo, y_hi = float(ys.min()), float(ys.max())
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    return x_lo, x_hi, y_lo, y_hi
+
+
+def ascii_scatter(
+    series: dict[str, np.ndarray],
+    width: int = 72,
+    height: int = 20,
+    title: str | None = None,
+) -> str:
+    """Render 2-d point sets as a text scatter plot.
+
+    Parameters
+    ----------
+    series:
+        Mapping of label -> ``(n, 2)`` array. Each series gets its own
+        marker; overlapping cells show the later series' marker.
+    width, height:
+        Canvas size in characters.
+
+    Returns
+    -------
+    The plot as a multi-line string (axes annotated with data bounds).
+    """
+    if not series:
+        raise ParameterError("ascii_scatter requires at least one series")
+    markers = "o*x+#@%&"
+    all_pts = np.vstack([np.asarray(p, dtype=float).reshape(-1, 2) for p in series.values()])
+    x_lo, x_hi, y_lo, y_hi = _bounds(all_pts[:, 0], all_pts[:, 1])
+    canvas = _canvas(width, height)
+    legend = []
+    for (label, pts), marker in zip(series.items(), markers):
+        pts = np.asarray(pts, dtype=float).reshape(-1, 2)
+        legend.append(f"{marker} {label}")
+        cols = ((pts[:, 0] - x_lo) / (x_hi - x_lo) * (width - 1)).round().astype(int)
+        rows = ((pts[:, 1] - y_lo) / (y_hi - y_lo) * (height - 1)).round().astype(int)
+        for c, r in zip(cols, rows):
+            canvas[height - 1 - r][c] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"y_max = {y_hi:g}")
+    for row in canvas:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f"y_min = {y_lo:g}   x: [{x_lo:g}, {x_hi:g}]   " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def ascii_lines(
+    x: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 72,
+    height: int = 16,
+    title: str | None = None,
+) -> str:
+    """Render one or more y-series over shared x values as a text line plot.
+
+    Points are plotted (not interpolated); with monotone x and a dense
+    canvas this reads like a line chart, which is all Figures 4–6 need.
+    """
+    if not series:
+        raise ParameterError("ascii_lines requires at least one series")
+    xs = np.asarray(x, dtype=float)
+    for label, ys in series.items():
+        if len(ys) != len(xs):
+            raise ParameterError(
+                f"series {label!r} has {len(ys)} values for {len(xs)} x points"
+            )
+    packed = {
+        label: np.column_stack([xs, np.asarray(ys, dtype=float)])
+        for label, ys in series.items()
+    }
+    return ascii_scatter(packed, width=width, height=height, title=title)

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch a single base class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ParameterError(ReproError, ValueError):
+    """An algorithm parameter is invalid (wrong type, range, or combination)."""
+
+
+class EmptyDatasetError(ReproError, ValueError):
+    """An operation that requires at least one object received none."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A model method that requires a completed fit was called before fitting."""
+
+
+class MetricError(ReproError, ValueError):
+    """A distance function received objects it cannot measure."""
+
+
+class TreeInvariantError(ReproError, RuntimeError):
+    """An internal CF*-tree invariant was violated.
+
+    This signals a bug in the tree maintenance code rather than bad user
+    input; it is raised by the consistency checker used in tests.
+    """

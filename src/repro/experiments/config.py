@@ -1,0 +1,100 @@
+"""Experiment scales: one knob that sizes every workload.
+
+The paper's absolute numbers come from 100k–500k-point runs on 1999 C++
+code; a pure-Python reproduction keeps the *shapes* at a fraction of the
+size. Three presets:
+
+========  ===========================  =============================
+scale     intended use                 typical wall time (full suite)
+========  ===========================  =============================
+smoke     CI / unit-test smoke          < 1 minute
+laptop    default benchmarks            a few minutes
+paper     original workload sizes       hours
+========  ===========================  =============================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import ParameterError
+
+__all__ = ["Scale", "SCALES", "resolve_scale", "paper_max_nodes"]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Workload sizes for one preset."""
+
+    name: str
+    #: Points for the 100k-point experiments (Tables 1–2, Figures 1–3).
+    table_points: int
+    #: Point counts swept in Figures 4–5.
+    sweep_points: tuple[int, ...]
+    #: Cluster counts swept in Figure 6.
+    sweep_clusters: tuple[int, ...]
+    #: Points for Figure 6's fixed-N sweep.
+    fig6_points: int
+    #: (classes, records) for the string experiments (Tables 1b, 3).
+    string_classes: int
+    string_records: int
+    #: Points for the ablations.
+    ablation_points: int
+
+
+SCALES: dict[str, Scale] = {
+    "smoke": Scale(
+        name="smoke",
+        table_points=2_000,
+        sweep_points=(500, 1_000, 1_500),
+        sweep_clusters=(5, 10, 15),
+        fig6_points=1_500,
+        string_classes=30,
+        string_records=300,
+        ablation_points=1_500,
+    ),
+    "laptop": Scale(
+        name="laptop",
+        table_points=10_000,
+        sweep_points=(4_000, 8_000, 12_000, 16_000, 20_000),
+        sweep_clusters=(10, 20, 30, 40, 50),
+        fig6_points=10_000,
+        string_classes=120,
+        string_records=1_200,
+        ablation_points=10_000,
+    ),
+    "paper": Scale(
+        name="paper",
+        table_points=100_000,
+        sweep_points=(50_000, 100_000, 200_000, 300_000, 500_000),
+        sweep_clusters=(50, 100, 150, 200, 250),
+        fig6_points=200_000,
+        string_classes=2_000,
+        string_records=20_000,
+        ablation_points=100_000,
+    ),
+}
+
+
+def resolve_scale(scale: str | Scale) -> Scale:
+    """Accept a preset name or an explicit :class:`Scale`."""
+    if isinstance(scale, Scale):
+        return scale
+    try:
+        return SCALES[scale]
+    except KeyError:
+        raise ParameterError(
+            f"unknown scale {scale!r}; choose from {sorted(SCALES)}"
+        ) from None
+
+
+def paper_max_nodes(n_clusters: int, branching_factor: int = 15) -> int:
+    """Node budget reproducing the paper's memory methodology.
+
+    Section 6.1 sizes memory so the number of sub-clusters stays within 5%
+    of the actual cluster count; a budget of roughly twice the leaves needed
+    for ~1.1 * K entries lands in that regime.
+    """
+    leaves = math.ceil(1.1 * n_clusters / branching_factor)
+    return max(8, 2 * leaves + 2)

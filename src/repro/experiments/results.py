@@ -1,0 +1,101 @@
+"""Result containers for reproduced experiments."""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from repro.exceptions import ParameterError
+
+__all__ = ["TableResult", "save_results", "load_results"]
+
+
+@dataclass
+class TableResult:
+    """One reproduced table or figure: columns, rows, and provenance."""
+
+    #: Experiment identifier, e.g. ``"Table 1"``.
+    experiment: str
+    #: One-line description including what the paper reports.
+    description: str
+    columns: list[str]
+    rows: list[list]
+    #: Free-form provenance: scale, seeds, parameter values.
+    context: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for row in self.rows:
+            if len(row) != len(self.columns):
+                raise ParameterError(
+                    f"{self.experiment}: row of width {len(row)} does not match "
+                    f"{len(self.columns)} columns"
+                )
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Format as an aligned text table."""
+        lines = [f"=== {self.experiment}: {self.description} ==="]
+        widths = [
+            max(len(str(c)), *(len(_fmt(r[i])) for r in self.rows)) if self.rows else len(str(c))
+            for i, c in enumerate(self.columns)
+        ]
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(self.columns, widths)))
+        for row in self.rows:
+            lines.append("  ".join(_fmt(v).ljust(w) for v, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def column(self, name: str) -> list:
+        """Values of one column, by header name."""
+        try:
+            idx = self.columns.index(name)
+        except ValueError:
+            raise ParameterError(
+                f"{self.experiment} has no column {name!r}; columns: {self.columns}"
+            ) from None
+        return [row[idx] for row in self.rows]
+
+    def row_map(self, key_column: str | None = None) -> dict:
+        """Rows keyed by their first (or named) column."""
+        key_idx = 0 if key_column is None else self.columns.index(key_column)
+        return {row[key_idx]: row for row in self.rows}
+
+    def to_dict(self) -> dict:
+        return {
+            "experiment": self.experiment,
+            "description": self.description,
+            "columns": self.columns,
+            "rows": self.rows,
+            "context": self.context,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "TableResult":
+        return cls(
+            experiment=doc["experiment"],
+            description=doc["description"],
+            columns=list(doc["columns"]),
+            rows=[list(r) for r in doc["rows"]],
+            context=dict(doc.get("context", {})),
+        )
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if v == 0 or (1e-3 < abs(v) < 1e6):
+            return f"{v:.4g}"
+        return f"{v:.3e}"
+    return str(v)
+
+
+def save_results(path: str | os.PathLike, results: list[TableResult]) -> None:
+    """Write a list of results to a JSON file."""
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump([r.to_dict() for r in results], f, indent=2, default=str)
+
+
+def load_results(path: str | os.PathLike) -> list[TableResult]:
+    """Read results written by :func:`save_results`."""
+    with open(path, "r", encoding="utf-8") as f:
+        docs = json.load(f)
+    return [TableResult.from_dict(d) for d in docs]

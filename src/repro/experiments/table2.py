@@ -1,0 +1,65 @@
+"""Table 2: clustering quality (CQ, distortion) on DS20d.50c (Section 6.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import make_cell_dataset
+from repro.evaluation import (
+    clustroid_quality,
+    distortion,
+    min_possible_clustroid_quality,
+)
+from repro.experiments.config import Scale, paper_max_nodes, resolve_scale
+from repro.experiments.results import TableResult
+from repro.metrics import EuclideanDistance
+from repro.pipelines import cluster_dataset
+
+__all__ = ["run_table2", "PAPER_TABLE2"]
+
+PAPER_TABLE2 = {
+    "bubble": {"cq": 0.289, "actual": 21127.4, "computed": 21127.5},
+    "bubble-fm": {"cq": 0.294, "actual": 21127.4, "computed": 21127.5},
+    "cq_floor": 0.212,
+}
+
+
+def run_table2(scale: str | Scale = "laptop", seed: int = 2) -> TableResult:
+    """CQ, its floor, and actual-vs-computed distortion for both algorithms."""
+    scale = resolve_scale(scale)
+    ds = make_cell_dataset(
+        dim=20, n_clusters=50, n_points=scale.table_points, seed=20
+    )
+    floor = min_possible_clustroid_quality(ds.centers, ds.points, ds.labels)
+    actual = distortion(ds.points, ds.labels)
+    rows = []
+    for algorithm in ("bubble", "bubble-fm"):
+        res = cluster_dataset(
+            ds.as_objects(),
+            EuclideanDistance(),
+            n_clusters=50,
+            algorithm=algorithm,
+            image_dim=20,
+            max_nodes=paper_max_nodes(50),
+            seed=seed,
+        )
+        centers = np.vstack(res.centers)
+        rows.append(
+            [
+                algorithm,
+                clustroid_quality(ds.centers, centers),
+                floor,
+                actual,
+                distortion(ds.points, res.labels),
+                PAPER_TABLE2[algorithm]["cq"],
+                PAPER_TABLE2["cq_floor"],
+            ]
+        )
+    return TableResult(
+        experiment="Table 2",
+        description="Clustering quality on DS20d.50c (CQ floor = best achievable)",
+        columns=["algorithm", "CQ", "CQ floor", "actual distortion",
+                 "computed distortion", "paper:CQ", "paper:floor"],
+        rows=rows,
+        context={"scale": scale.name, "seed": seed},
+    )

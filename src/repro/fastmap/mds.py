@@ -1,0 +1,94 @@
+"""Classical (Torgerson) multidimensional scaling and embedding diagnostics.
+
+Lemma 4.1 of the paper guarantees that any finite distance space embeds
+exactly into R^k for some ``k < N`` *when the distances are Euclidean-
+realizable*; classical MDS constructs that embedding from the full distance
+matrix via double centering. It needs all ``N(N-1)/2`` distances and cubic
+time, which is exactly why the paper dismisses plain MDS for large N and
+reaches for FastMap — but for small object sets it provides exact ground
+truth that the test suite compares FastMap against.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import EmptyDatasetError, ParameterError
+from repro.metrics.base import DistanceFunction
+
+__all__ = ["classical_mds", "stress"]
+
+
+def classical_mds(
+    distance_matrix: np.ndarray,
+    k: int,
+) -> np.ndarray:
+    """Embed objects into R^k from their full distance matrix.
+
+    Parameters
+    ----------
+    distance_matrix:
+        Symmetric ``(N, N)`` matrix of pairwise distances.
+    k:
+        Target dimensionality. If the space embeds exactly in fewer than
+        ``k`` dimensions the extra coordinates are zero.
+
+    Returns
+    -------
+    ``(N, k)`` array of coordinates whose pairwise Euclidean distances best
+    approximate (exactly reproduce, when realizable) the input distances.
+    """
+    dm = np.asarray(distance_matrix, dtype=np.float64)
+    if dm.ndim != 2 or dm.shape[0] != dm.shape[1]:
+        raise ParameterError(f"distance_matrix must be square, got shape {dm.shape}")
+    n = dm.shape[0]
+    if n == 0:
+        raise EmptyDatasetError("classical_mds requires at least one object")
+    if k < 1:
+        raise ParameterError(f"k must be >= 1, got {k}")
+    # Double centering: B = -1/2 * J D^2 J with J = I - 1/n 11^T.
+    d2 = dm**2
+    row_mean = d2.mean(axis=1, keepdims=True)
+    col_mean = d2.mean(axis=0, keepdims=True)
+    grand_mean = d2.mean()
+    b = -0.5 * (d2 - row_mean - col_mean + grand_mean)
+    eigvals, eigvecs = np.linalg.eigh(b)
+    # eigh returns ascending order; take the k largest non-negative components.
+    order = np.argsort(eigvals)[::-1]
+    eigvals = eigvals[order][:k]
+    eigvecs = eigvecs[:, order][:, :k]
+    eigvals = np.clip(eigvals, 0.0, None)
+    coords = eigvecs * np.sqrt(eigvals)
+    if coords.shape[1] < k:
+        coords = np.hstack([coords, np.zeros((n, k - coords.shape[1]))])
+    return coords
+
+
+def stress(
+    objects: Sequence,
+    images: np.ndarray,
+    metric: DistanceFunction,
+) -> float:
+    """Kruskal stress-1 of an embedding: 0 means exact distance preservation.
+
+    ``sqrt( sum (d_ij - ||x_i - x_j||)^2 / sum d_ij^2 )`` over all pairs.
+    Counts ``N(N-1)/2`` distance calls, so use it for diagnostics on small
+    samples, not inside algorithms.
+    """
+    n = len(objects)
+    if n < 2:
+        return 0.0
+    images = np.asarray(images, dtype=np.float64)
+    num = 0.0
+    den = 0.0
+    for i in range(n):
+        for j in range(i + 1, n):
+            d_true = metric.distance(objects[i], objects[j])
+            d_img = float(np.linalg.norm(images[i] - images[j]))
+            num += (d_true - d_img) ** 2
+            den += d_true**2
+    if den == 0.0:
+        return 0.0
+    return float(np.sqrt(num / den))

@@ -1,0 +1,13 @@
+"""Hierarchical agglomerative clustering — the "global phase".
+
+The paper's evaluation methodology (Section 6.1) further clusters the
+clustroids of the sub-clusters returned by BUBBLE/BUBBLE-FM with a
+hierarchical clustering algorithm to obtain the required number of clusters.
+This package provides a distance-matrix-based agglomerative clusterer with
+the classic Lance–Williams linkages, including size-weighted average linkage
+so sub-cluster populations influence merges.
+"""
+
+from repro.hac.agglomerative import AgglomerativeClusterer, linkage_matrix
+
+__all__ = ["AgglomerativeClusterer", "linkage_matrix"]

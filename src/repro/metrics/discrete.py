@@ -1,0 +1,52 @@
+"""Additional discrete metrics for user-defined distance spaces.
+
+These are not used by the paper's experiments but round out the library for
+downstream users clustering categorical or set-valued data, and they give the
+property-based tests more metric instances to check the BIRCH* machinery
+against.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import MetricError
+from repro.metrics.base import DistanceFunction
+
+__all__ = ["HammingDistance", "JaccardDistance", "DiscreteMetric"]
+
+
+class HammingDistance(DistanceFunction):
+    """Number of positions at which two equal-length sequences differ."""
+
+    name = "hamming"
+
+    def _distance(self, a, b) -> float:
+        if len(a) != len(b):
+            raise MetricError(
+                f"Hamming distance requires equal lengths, got {len(a)} and {len(b)}"
+            )
+        return float(sum(x != y for x, y in zip(a, b)))
+
+
+class JaccardDistance(DistanceFunction):
+    """``1 - |A ∩ B| / |A ∪ B]`` over finite sets; a metric on sets."""
+
+    name = "jaccard"
+
+    def _distance(self, a, b) -> float:
+        sa, sb = set(a), set(b)
+        if not sa and not sb:
+            return 0.0
+        return 1.0 - len(sa & sb) / len(sa | sb)
+
+
+class DiscreteMetric(DistanceFunction):
+    """The trivial metric: 0 if objects are equal, 1 otherwise.
+
+    Useful as a degenerate stress case for the CF*-tree: every distinct
+    object is equidistant from every other, so no geometry can help.
+    """
+
+    name = "discrete"
+
+    def _distance(self, a, b) -> float:
+        return 0.0 if a == b else 1.0

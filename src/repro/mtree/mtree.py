@@ -1,0 +1,305 @@
+"""M-tree (Ciaccia, Patella & Zezula, VLDB 1997) for exact metric search.
+
+Structure
+---------
+Every node holds up to ``node_capacity`` entries. A leaf entry is a data
+object plus its distance to the parent routing object; an internal entry is
+a *routing object* with a covering radius, the distance to its own parent,
+and a child node containing everything within the covering radius.
+
+Queries prune with two triangle-inequality tests, cheapest first:
+
+1. parent filter (no distance call): an entry with distance-to-parent
+   ``d_p`` under a parent at distance ``d_qp`` from the query cannot contain
+   anything within ``r`` of the query if ``|d_qp - d_p| > r + r_cov``;
+2. direct filter (one call): compute ``d(q, routing)``; prune the subtree if
+   ``d(q, routing) - r_cov > r``.
+
+Splits promote the farthest pair of entries and partition the rest to the
+closer promoted object (the paper's ``mM_RAD``-style confirmed promotion is
+approximated by farthest-pair, which behaves comparably and needs no
+quadratic confirmation step).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.exceptions import EmptyDatasetError, ParameterError, TreeInvariantError
+from repro.metrics.base import DistanceFunction
+from repro.utils.validation import check_integer
+
+__all__ = ["MTree"]
+
+
+class _Entry:
+    """One slot of an M-tree node.
+
+    For leaf entries ``child is None`` and ``radius == 0``; for routing
+    entries ``child`` is the covered subtree and ``radius`` its covering
+    radius. ``dist_to_parent`` is ``None`` at the root (no parent routing
+    object to measure against).
+    """
+
+    __slots__ = ("obj", "dist_to_parent", "radius", "child")
+
+    def __init__(self, obj, dist_to_parent=None, radius: float = 0.0, child=None):
+        self.obj = obj
+        self.dist_to_parent = dist_to_parent
+        self.radius = radius
+        self.child = child
+
+
+class _Node:
+    __slots__ = ("entries", "is_leaf")
+
+    def __init__(self, is_leaf: bool, entries: list[_Entry] | None = None):
+        self.is_leaf = is_leaf
+        self.entries: list[_Entry] = entries if entries is not None else []
+
+
+class MTree:
+    """Dynamic exact similarity index over an arbitrary metric space.
+
+    Parameters
+    ----------
+    metric:
+        The distance function; every evaluation counts toward its NCD.
+    node_capacity:
+        Maximum entries per node (≥ 2 required so splits can distribute).
+
+    Examples
+    --------
+    >>> from repro.metrics import EditDistance
+    >>> tree = MTree(EditDistance(), node_capacity=4)
+    >>> for w in ["cat", "cart", "dog", "dig", "cog"]:
+    ...     tree.insert(w)
+    >>> sorted(obj for _, obj in tree.knn("cot", 2))
+    ['cat', 'cog']
+    """
+
+    def __init__(self, metric: DistanceFunction, node_capacity: int = 8):
+        if not isinstance(metric, DistanceFunction):
+            raise ParameterError("metric must be a DistanceFunction")
+        self.metric = metric
+        self.node_capacity = check_integer(node_capacity, "node_capacity", minimum=2)
+        self._root = _Node(is_leaf=True)
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def insert(self, obj) -> None:
+        """Insert one object."""
+        split = self._insert_into(self._root, obj, parent_routing=None)
+        if split is not None:
+            self._grow_root(split)
+        self._size += 1
+
+    def build(self, objects: Iterable) -> "MTree":
+        """Insert every object of an iterable; returns self."""
+        for obj in objects:
+            self.insert(obj)
+        return self
+
+    def _insert_into(self, node: _Node, obj, parent_routing):
+        if node.is_leaf:
+            dist = (
+                None
+                if parent_routing is None
+                else self.metric.distance(obj, parent_routing)
+            )
+            node.entries.append(_Entry(obj, dist_to_parent=dist))
+            if len(node.entries) > self.node_capacity:
+                return self._split(node)
+            return None
+
+        # Choose the child: prefer one whose covering radius already
+        # contains the object; otherwise the one needing least enlargement.
+        dists = self.metric.one_to_many(obj, [e.obj for e in node.entries])
+        inside = [i for i in range(len(dists)) if dists[i] <= node.entries[i].radius]
+        if inside:
+            best = min(inside, key=lambda i: dists[i])
+        else:
+            best = min(
+                range(len(dists)), key=lambda i: dists[i] - node.entries[i].radius
+            )
+            node.entries[best].radius = float(dists[best])
+        entry = node.entries[best]
+        split = self._insert_into(entry.child, obj, parent_routing=entry.obj)
+        if split is not None:
+            left, right = split
+            node.entries.pop(best)
+            for new_entry in (left, right):
+                if parent_routing is not None:
+                    new_entry.dist_to_parent = self.metric.distance(
+                        new_entry.obj, parent_routing
+                    )
+                node.entries.append(new_entry)
+            if len(node.entries) > self.node_capacity:
+                return self._split(node)
+        return None
+
+    def _split(self, node: _Node) -> tuple[_Entry, _Entry]:
+        """Promote the farthest pair, partition to the closer promoted
+        object, and return the two new routing entries."""
+        entries = node.entries
+        dm = self.metric.pairwise([e.obj for e in entries])
+        flat = int(np.argmax(dm))
+        ia, ib = divmod(flat, dm.shape[0])
+        if ia == ib:  # all-identical objects: arbitrary halves
+            half = len(entries) // 2
+            groups = (list(range(half)), list(range(half, len(entries))))
+        else:
+            group_a, group_b = [], []
+            for i in range(len(entries)):
+                (group_a if dm[i, ia] <= dm[i, ib] else group_b).append(i)
+            groups = (group_a, group_b)
+            if not groups[0] or not groups[1]:  # pragma: no cover - defensive
+                half = len(entries) // 2
+                groups = (list(range(half)), list(range(half, len(entries))))
+
+        promoted = []
+        for anchor, idx_group in zip((ia, ib), groups):
+            routing_obj = entries[anchor].obj
+            child = _Node(is_leaf=node.is_leaf)
+            radius = 0.0
+            for i in idx_group:
+                e = entries[i]
+                d = float(dm[i, anchor])
+                e.dist_to_parent = d
+                child.entries.append(e)
+                radius = max(radius, d + e.radius)
+            promoted.append(_Entry(routing_obj, radius=radius, child=child))
+        return promoted[0], promoted[1]
+
+    def _grow_root(self, split: tuple[_Entry, _Entry]) -> None:
+        left, right = split
+        self._root = _Node(is_leaf=False, entries=[left, right])
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def range_query(self, query, radius: float) -> list:
+        """All indexed objects within ``radius`` of ``query`` (inclusive)."""
+        if radius < 0:
+            raise ParameterError(f"radius must be >= 0, got {radius}")
+        out: list = []
+        self._range(self._root, query, radius, d_query_parent=None, out=out)
+        return out
+
+    def _range(self, node: _Node, query, radius, d_query_parent, out) -> None:
+        for e in node.entries:
+            # Parent filter: free of distance calls.
+            if (
+                d_query_parent is not None
+                and e.dist_to_parent is not None
+                and abs(d_query_parent - e.dist_to_parent) > radius + e.radius
+            ):
+                continue
+            d = self.metric.distance(query, e.obj)
+            if node.is_leaf:
+                if d <= radius:
+                    out.append(e.obj)
+            elif d <= radius + e.radius:
+                self._range(e.child, query, radius, d_query_parent=d, out=out)
+
+    def knn(self, query, k: int) -> list[tuple[float, object]]:
+        """The ``k`` nearest objects as ``(distance, object)``, ascending.
+
+        Uses best-first search on a priority queue of subtree lower bounds,
+        shrinking the pruning radius as neighbours are confirmed.
+        """
+        k = check_integer(k, "k", minimum=1)
+        if self._size == 0:
+            raise EmptyDatasetError("knn on an empty MTree")
+        counter = itertools.count()  # tie-breaker: objects may not be orderable
+        # (lower_bound, tiebreak, node, d_query_parent)
+        frontier: list = [(0.0, next(counter), self._root, None)]
+        best: list[tuple[float, int, object]] = []  # max-heap via negation
+
+        def current_radius() -> float:
+            return -best[0][0] if len(best) == k else np.inf
+
+        while frontier:
+            lower, _, node, d_qp = heapq.heappop(frontier)
+            if lower > current_radius():
+                break
+            for e in node.entries:
+                if (
+                    d_qp is not None
+                    and e.dist_to_parent is not None
+                    and abs(d_qp - e.dist_to_parent) > current_radius() + e.radius
+                ):
+                    continue
+                d = self.metric.distance(query, e.obj)
+                if node.is_leaf:
+                    if d <= current_radius():
+                        heapq.heappush(best, (-d, next(counter), e.obj))
+                        if len(best) > k:
+                            heapq.heappop(best)
+                else:
+                    bound = max(d - e.radius, 0.0)
+                    if bound <= current_radius():
+                        heapq.heappush(frontier, (bound, next(counter), e.child, d))
+        return sorted((-neg, obj) for neg, _, obj in best)
+
+    def nearest(self, query) -> tuple[float, object]:
+        """Convenience: the single nearest object as ``(distance, object)``."""
+        return self.knn(query, 1)[0]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        h, node = 1, self._root
+        while not node.is_leaf:
+            node = node.entries[0].child
+            h += 1
+        return h
+
+    def items(self) -> Iterable:
+        """Iterate over all indexed objects."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                for e in node.entries:
+                    yield e.obj
+            else:
+                stack.extend(e.child for e in node.entries)
+
+    def check_invariants(self) -> None:
+        """Verify covering radii and entry counts; raise on violation."""
+        count = 0
+        stack: list[tuple[_Node, object, float]] = [(self._root, None, np.inf)]
+        while stack:
+            node, routing, radius = stack.pop()
+            if len(node.entries) > self.node_capacity:
+                raise TreeInvariantError(
+                    f"node holds {len(node.entries)} > capacity {self.node_capacity}"
+                )
+            for e in node.entries:
+                if routing is not None:
+                    d = self.metric._distance(e.obj, routing)
+                    if e.dist_to_parent is None or abs(d - e.dist_to_parent) > 1e-9:
+                        raise TreeInvariantError("stale dist_to_parent")
+                    if d - 1e-9 > radius:
+                        raise TreeInvariantError("entry outside covering radius")
+                if node.is_leaf:
+                    count += 1
+                else:
+                    stack.append((e.child, e.obj, e.radius))
+        if count != self._size:
+            raise TreeInvariantError(f"size {self._size} != walked {count}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MTree(size={self._size}, height={self.height})"

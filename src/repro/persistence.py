@@ -1,0 +1,113 @@
+"""Persisting pre-clustering results.
+
+The point of pre-clustering (Section 2) is to hand a *condensed* dataset to
+later, more expensive analysis — which often happens in another process or
+on another day. This module serializes the sub-cluster summaries
+(:class:`~repro.core.features.SubCluster`) to JSON and back.
+
+Vectors and strings round-trip out of the box; arbitrary object types can
+supply ``encode`` / ``decode`` callables.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.core.features import SubCluster
+from repro.exceptions import ParameterError
+
+__all__ = ["save_subclusters", "load_subclusters"]
+
+_FORMAT_VERSION = 1
+
+
+def _default_encode(obj):
+    if isinstance(obj, str):
+        return {"t": "str", "v": obj}
+    arr = np.asarray(obj)
+    if arr.ndim == 1 and arr.dtype.kind in "fiu":
+        return {"t": "vec", "v": [float(x) for x in arr]}
+    raise ParameterError(
+        f"cannot serialize object of type {type(obj).__name__}; "
+        "pass encode=/decode= callables for custom object types"
+    )
+
+
+def _default_decode(payload):
+    if payload["t"] == "str":
+        return payload["v"]
+    if payload["t"] == "vec":
+        return np.asarray(payload["v"], dtype=np.float64)
+    raise ParameterError(f"unknown serialized object tag {payload['t']!r}")
+
+
+def save_subclusters(
+    path: str | os.PathLike,
+    subclusters: list[SubCluster],
+    encode: Callable | None = None,
+    metadata: dict | None = None,
+) -> None:
+    """Write sub-clusters to a JSON file.
+
+    Parameters
+    ----------
+    path:
+        Output file.
+    subclusters:
+        The summaries to persist (e.g. ``model.subclusters_``).
+    encode:
+        Object serializer returning a JSON-compatible value; defaults handle
+        numeric vectors and strings.
+    metadata:
+        Optional free-form dict stored alongside (e.g. the metric name and
+        parameters used, so the load side can reconstruct context).
+    """
+    enc = encode if encode is not None else _default_encode
+    doc = {
+        "format_version": _FORMAT_VERSION,
+        "metadata": metadata or {},
+        "subclusters": [
+            {
+                "n": s.n,
+                "radius": s.radius,
+                "clustroid": enc(s.clustroid),
+                "representatives": [enc(r) for r in s.representatives],
+            }
+            for s in subclusters
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f)
+
+
+def load_subclusters(
+    path: str | os.PathLike,
+    decode: Callable | None = None,
+) -> tuple[list[SubCluster], dict]:
+    """Read sub-clusters written by :func:`save_subclusters`.
+
+    Returns ``(subclusters, metadata)``.
+    """
+    dec = decode if decode is not None else _default_decode
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    version = doc.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ParameterError(
+            f"unsupported subcluster file version {version!r} "
+            f"(this build reads version {_FORMAT_VERSION})"
+        )
+    subclusters = [
+        SubCluster(
+            clustroid=dec(item["clustroid"]),
+            n=int(item["n"]),
+            radius=float(item["radius"]),
+            representatives=[dec(r) for r in item["representatives"]],
+        )
+        for item in doc["subclusters"]
+    ]
+    return subclusters, doc.get("metadata", {})

@@ -1,0 +1,11 @@
+"""RED: the relative-edit-distance comparator of Table 3.
+
+The paper benchmarks BUBBLE-FM's data-cleaning speed against "some other
+clustering approaches [14, 15] which use relative edit distance (RED)" —
+the approximate-word-matching pipeline of French, Powell and Schulman for
+automating authority-file construction.
+"""
+
+from repro.red.leader import REDClusterer
+
+__all__ = ["REDClusterer"]

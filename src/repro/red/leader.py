@@ -1,0 +1,108 @@
+"""Leader clustering with relative edit distance.
+
+The authority-file approach of French, Powell & Schulman groups variant
+strings by comparing each incoming record against the representative strings
+of the clusters formed so far: the record joins the closest cluster whose
+representative lies within a relative-edit-distance threshold, otherwise it
+founds a new cluster and becomes its representative.
+
+Complexity is O(N * K) edit-distance computations with K clusters — the
+cost that makes RED orders of magnitude slower than BUBBLE-FM on large
+authority files (Table 3: 45 h vs 7.5 h at paper scale).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.exceptions import EmptyDatasetError, NotFittedError, ParameterError
+from repro.metrics.base import DistanceFunction
+from repro.metrics.string import RelativeEditDistance
+
+__all__ = ["REDClusterer"]
+
+
+class REDClusterer:
+    """Single-pass leader clustering over strings.
+
+    Parameters
+    ----------
+    threshold:
+        Maximum relative edit distance for joining an existing cluster
+        (a fraction of the longer string's length, in (0, 1]).
+    metric:
+        Distance to compare records against representatives; defaults to
+        :class:`~repro.metrics.RelativeEditDistance`.
+    cache_exact:
+        When True, records identical to an already-seen string reuse its
+        assignment without any distance calls — real systems dedupe too,
+        and RDS-like data is dominated by exact duplicates.
+
+    Attributes
+    ----------
+    labels_:
+        Cluster index per input record.
+    representatives_:
+        The founding string of each cluster.
+    """
+
+    def __init__(
+        self,
+        threshold: float = 0.2,
+        metric: DistanceFunction | None = None,
+        cache_exact: bool = True,
+    ):
+        if not 0 < threshold <= 1:
+            raise ParameterError(f"threshold must be in (0, 1], got {threshold}")
+        self.threshold = float(threshold)
+        self.metric = metric if metric is not None else RelativeEditDistance()
+        self.cache_exact = bool(cache_exact)
+        self.labels_: np.ndarray | None = None
+        self.representatives_: list[str] = []
+
+    def fit(self, strings: Iterable[str]) -> "REDClusterer":
+        """Cluster ``strings`` in one pass."""
+        labels: list[int] = []
+        reps: list[str] = []
+        seen: dict[str, int] = {}
+        n = 0
+        for s in strings:
+            n += 1
+            if self.cache_exact and s in seen:
+                labels.append(seen[s])
+                continue
+            if reps:
+                dists = self.metric.one_to_many(s, reps)
+                best = int(np.argmin(dists))
+                if float(dists[best]) <= self.threshold:
+                    labels.append(best)
+                    if self.cache_exact:
+                        seen[s] = best
+                    continue
+            reps.append(s)
+            label = len(reps) - 1
+            labels.append(label)
+            if self.cache_exact:
+                seen[s] = label
+        if n == 0:
+            raise EmptyDatasetError("REDClusterer.fit requires at least one string")
+        self.labels_ = np.asarray(labels, dtype=np.intp)
+        self.representatives_ = reps
+        return self
+
+    @property
+    def n_clusters_(self) -> int:
+        if self.labels_ is None:
+            raise NotFittedError("REDClusterer has not been fitted")
+        return len(self.representatives_)
+
+    def assign(self, strings: Iterable[str]) -> np.ndarray:
+        """Label new records by their nearest existing representative."""
+        if self.labels_ is None:
+            raise NotFittedError("REDClusterer has not been fitted")
+        return np.asarray(
+            [int(np.argmin(self.metric.one_to_many(s, self.representatives_))) for s in strings],
+            dtype=np.intp,
+        )

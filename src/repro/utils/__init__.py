@@ -1,0 +1,18 @@
+"""Small shared utilities: seeded RNG handling, validation, sampling."""
+
+from repro.utils.rng import ensure_rng
+from repro.utils.sampling import reservoir_sample, sample_without_replacement
+from repro.utils.validation import (
+    check_integer,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "ensure_rng",
+    "reservoir_sample",
+    "sample_without_replacement",
+    "check_integer",
+    "check_positive",
+    "check_probability",
+]

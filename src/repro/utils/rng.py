@@ -1,0 +1,28 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component in the library accepts a ``seed`` argument that may
+be ``None``, an integer, or an existing :class:`numpy.random.Generator`.
+:func:`ensure_rng` normalizes all three into a ``Generator`` so call sites
+never branch on the argument type.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ensure_rng"]
+
+
+def ensure_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for nondeterministic entropy, an ``int`` for a reproducible
+        stream, or an existing ``Generator`` which is returned unchanged (so
+        a caller can thread one generator through a whole experiment).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

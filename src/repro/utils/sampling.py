@@ -1,0 +1,52 @@
+"""Sampling primitives used by the CF*-tree sample-object machinery."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+__all__ = ["reservoir_sample", "sample_without_replacement"]
+
+
+def sample_without_replacement(
+    items: Sequence,
+    k: int,
+    seed: int | np.random.Generator | None = None,
+) -> list:
+    """Return ``min(k, len(items))`` distinct items chosen uniformly.
+
+    Unlike :meth:`numpy.random.Generator.choice`, this works for sequences of
+    arbitrary Python objects (strings, tuples, user types) without coercing
+    them into a numpy array.
+    """
+    rng = ensure_rng(seed)
+    n = len(items)
+    if k >= n:
+        return list(items)
+    idx = rng.choice(n, size=k, replace=False)
+    return [items[int(i)] for i in idx]
+
+
+def reservoir_sample(
+    stream: Iterable,
+    k: int,
+    seed: int | np.random.Generator | None = None,
+) -> list:
+    """Classic reservoir sampling: k uniform samples from a one-pass stream.
+
+    Used where the BIRCH* framework must sample from data it cannot hold in
+    memory (e.g. picking initial FastMap pivot candidates from a data scan).
+    """
+    rng = ensure_rng(seed)
+    reservoir: list = []
+    for i, item in enumerate(stream):
+        if i < k:
+            reservoir.append(item)
+        else:
+            j = int(rng.integers(0, i + 1))
+            if j < k:
+                reservoir[j] = item
+    return reservoir

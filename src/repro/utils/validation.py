@@ -1,0 +1,47 @@
+"""Parameter validation helpers.
+
+These raise :class:`repro.exceptions.ParameterError` with uniform messages so
+that configuration mistakes surface early, at construction time, rather than
+deep inside a tree insertion.
+"""
+
+from __future__ import annotations
+
+import numbers
+
+from repro.exceptions import ParameterError
+
+__all__ = ["check_integer", "check_positive", "check_probability"]
+
+
+def check_integer(value, name: str, minimum: int | None = None) -> int:
+    """Validate that ``value`` is an integer (optionally ``>= minimum``)."""
+    if isinstance(value, bool) or not isinstance(value, numbers.Integral):
+        raise ParameterError(f"{name} must be an integer, got {value!r}")
+    value = int(value)
+    if minimum is not None and value < minimum:
+        raise ParameterError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def check_positive(value, name: str, allow_zero: bool = False) -> float:
+    """Validate that ``value`` is a positive (or non-negative) real number."""
+    if isinstance(value, bool) or not isinstance(value, numbers.Real):
+        raise ParameterError(f"{name} must be a real number, got {value!r}")
+    value = float(value)
+    if allow_zero:
+        if value < 0:
+            raise ParameterError(f"{name} must be >= 0, got {value}")
+    elif value <= 0:
+        raise ParameterError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def check_probability(value, name: str) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    if isinstance(value, bool) or not isinstance(value, numbers.Real):
+        raise ParameterError(f"{name} must be a real number, got {value!r}")
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ParameterError(f"{name} must be in [0, 1], got {value}")
+    return value

@@ -1,0 +1,15 @@
+"""Vantage-point tree: a second exact metric index.
+
+Where the M-tree is the dynamic, paged index the paper cites, the VP-tree
+(Yianilos, SODA 1993) is its static counterpart: built once over a known
+object set by recursive median-distance partitioning around randomly chosen
+vantage points, it answers exact nearest-neighbour and range queries with
+triangle-inequality pruning. For the second-phase labeling workload —
+a fixed set of clustroids queried many times — a static index is a natural
+fit, and having two independent exact indexes lets the test suite
+cross-validate both against brute force and each other.
+"""
+
+from repro.vptree.vptree import VPTree
+
+__all__ = ["VPTree"]

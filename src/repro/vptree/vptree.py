@@ -1,0 +1,178 @@
+"""Vantage-point tree for exact similarity search in metric spaces.
+
+Construction: pick a vantage point, measure every remaining object against
+it, split at the median distance into an *inside* and an *outside* subtree,
+recurse. Search prunes a subtree whenever the triangle inequality proves it
+cannot contain anything within the current radius:
+
+* inside is reachable only if ``d(q, vp) - tau <= mu``;
+* outside is reachable only if ``d(q, vp) + tau >= mu``
+
+where ``mu`` is the node's median split distance and ``tau`` the current
+search radius (shrinking during kNN).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import EmptyDatasetError, NotFittedError, ParameterError
+from repro.metrics.base import DistanceFunction
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_integer
+
+__all__ = ["VPTree"]
+
+
+class _Node:
+    __slots__ = ("index", "mu", "inside", "outside")
+
+    def __init__(self, index: int, mu: float | None, inside, outside):
+        self.index = index
+        self.mu = mu
+        self.inside = inside
+        self.outside = outside
+
+
+class VPTree:
+    """Static exact metric index built by median partitioning.
+
+    Parameters
+    ----------
+    metric:
+        The distance function; NCD accumulates on it.
+    leaf_size:
+        Subtrees at or below this size are stored as flat buckets and
+        scanned linearly (cheaper than deep recursion for tiny sets).
+    seed:
+        Seed/generator for vantage-point selection.
+    """
+
+    def __init__(
+        self,
+        metric: DistanceFunction,
+        leaf_size: int = 8,
+        seed=None,
+    ):
+        if not isinstance(metric, DistanceFunction):
+            raise ParameterError("metric must be a DistanceFunction")
+        self.metric = metric
+        self.leaf_size = check_integer(leaf_size, "leaf_size", minimum=1)
+        self._rng = ensure_rng(seed)
+        self._objects: list | None = None
+        self._root = None
+
+    # ------------------------------------------------------------------
+    def build(self, objects: Sequence) -> "VPTree":
+        """Index ``objects``; they are referenced, not copied."""
+        objects = list(objects)
+        if not objects:
+            raise EmptyDatasetError("VPTree.build requires at least one object")
+        self._objects = objects
+        self._root = self._build(list(range(len(objects))))
+        return self
+
+    def _build(self, indices: list[int]):
+        if not indices:
+            return None
+        if len(indices) <= self.leaf_size:
+            return list(indices)  # flat bucket
+        vp_pos = int(self._rng.integers(0, len(indices)))
+        vp = indices.pop(vp_pos)
+        dists = self.metric.one_to_many(
+            self._objects[vp], [self._objects[i] for i in indices]
+        )
+        mu = float(np.median(dists))
+        inside = [i for i, d in zip(indices, dists) if d <= mu]
+        outside = [i for i, d in zip(indices, dists) if d > mu]
+        if not inside or not outside:
+            # Degenerate split (many ties): store as a bucket to guarantee
+            # termination.
+            return [vp] + indices
+        return _Node(vp, mu, self._build(inside), self._build(outside))
+
+    # ------------------------------------------------------------------
+    def knn(self, query, k: int) -> list[tuple[float, object]]:
+        """The ``k`` nearest objects as ``(distance, object)``, ascending."""
+        k = check_integer(k, "k", minimum=1)
+        if self._root is None:
+            raise NotFittedError("VPTree.knn called before build")
+        counter = itertools.count()
+        best: list[tuple[float, int, int]] = []  # (-dist, tiebreak, index)
+
+        def tau() -> float:
+            return -best[0][0] if len(best) == k else np.inf
+
+        def offer(index: int, dist: float) -> None:
+            if dist <= tau():
+                heapq.heappush(best, (-dist, next(counter), index))
+                if len(best) > k:
+                    heapq.heappop(best)
+
+        def search(node) -> None:
+            if node is None:
+                return
+            if isinstance(node, list):
+                dists = self.metric.one_to_many(
+                    query, [self._objects[i] for i in node]
+                )
+                for i, d in zip(node, dists):
+                    offer(i, float(d))
+                return
+            d_vp = self.metric.distance(query, self._objects[node.index])
+            offer(node.index, d_vp)
+            # Visit the more promising side first to shrink tau early.
+            first, second = (
+                (node.inside, node.outside) if d_vp <= node.mu else (node.outside, node.inside)
+            )
+            search(first)
+            if d_vp <= node.mu:
+                if d_vp + tau() >= node.mu:
+                    search(second)
+            elif d_vp - tau() <= node.mu:
+                search(second)
+
+        search(self._root)
+        return sorted((-neg, self._objects[i]) for neg, _, i in best)
+
+    def nearest(self, query) -> tuple[float, object]:
+        """The single nearest object as ``(distance, object)``."""
+        return self.knn(query, 1)[0]
+
+    def range_query(self, query, radius: float) -> list:
+        """All indexed objects within ``radius`` of ``query`` (inclusive)."""
+        if radius < 0:
+            raise ParameterError(f"radius must be >= 0, got {radius}")
+        if self._root is None:
+            raise NotFittedError("VPTree.range_query called before build")
+        out: list = []
+
+        def search(node) -> None:
+            if node is None:
+                return
+            if isinstance(node, list):
+                dists = self.metric.one_to_many(
+                    query, [self._objects[i] for i in node]
+                )
+                out.extend(
+                    self._objects[i] for i, d in zip(node, dists) if d <= radius
+                )
+                return
+            d_vp = self.metric.distance(query, self._objects[node.index])
+            if d_vp <= radius:
+                out.append(self._objects[node.index])
+            if d_vp - radius <= node.mu:
+                search(node.inside)
+            if d_vp + radius >= node.mu:
+                search(node.outside)
+
+        search(self._root)
+        return out
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._objects) if self._objects is not None else 0

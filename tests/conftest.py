@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics import EuclideanDistance
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def euclidean():
+    return EuclideanDistance()
+
+
+@pytest.fixture
+def blob_data(rng):
+    """Five well-separated 2-d Gaussian blobs with ground-truth labels."""
+    centers = np.array(
+        [[0.0, 0.0], [10.0, 0.0], [0.0, 10.0], [10.0, 10.0], [5.0, 5.0]]
+    )
+    points, labels = [], []
+    for i, c in enumerate(centers):
+        pts = c + 0.3 * rng.normal(size=(60, 2))
+        points.extend(pts)
+        labels.extend([i] * len(pts))
+    order = rng.permutation(len(points))
+    points = [points[i] for i in order]
+    labels = np.asarray(labels)[order]
+    return points, labels, centers
+
+
+@pytest.fixture
+def tiny_strings():
+    """A handful of author-name variants in three classes."""
+    return (
+        [
+            "powell, allison l.",
+            "powell, a. l.",
+            "powell allison l.",
+            "french, james c.",
+            "french, j. c.",
+            "frnech, james c.",
+            "ganti, venkatesh",
+            "ganti, v.",
+        ],
+        np.array([0, 0, 0, 1, 1, 1, 2, 2]),
+    )

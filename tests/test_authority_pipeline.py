@@ -1,0 +1,90 @@
+"""Unit tests for the authority-file construction pipeline (Section 7)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_authority_dataset
+from repro.exceptions import EmptyDatasetError, ParameterError
+from repro.metrics import EditDistance
+from repro.pipelines import build_authority_file
+
+
+@pytest.fixture(scope="module")
+def small_corpus():
+    return make_authority_dataset(n_classes=25, n_strings=250, seed=11)
+
+
+class TestBuild:
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            build_authority_file([])
+
+    def test_bad_assignment_rejected(self, small_corpus):
+        with pytest.raises(ParameterError):
+            build_authority_file(small_corpus.strings, assignment="fuzzy")
+
+    def test_every_record_labeled(self, small_corpus):
+        af = build_authority_file(small_corpus.strings, seed=0)
+        assert af.record_labels.shape == (small_corpus.n_strings,)
+        assert af.record_labels.max() < af.n_classes
+
+    def test_members_partition_distinct_strings(self, small_corpus):
+        af = build_authority_file(small_corpus.strings, seed=0)
+        all_members = [s for group in af.members for s in group]
+        assert len(all_members) == len(set(all_members))
+        assert set(all_members) == set(small_corpus.strings)
+
+    def test_canonical_is_a_member(self, small_corpus):
+        af = build_authority_file(small_corpus.strings, seed=0)
+        for canon, group in zip(af.canonical, af.members):
+            assert canon in group
+
+    def test_no_empty_classes(self, small_corpus):
+        af = build_authority_file(small_corpus.strings, seed=0)
+        assert all(group for group in af.members)
+
+    def test_lookup_round_trip(self, small_corpus):
+        af = build_authority_file(small_corpus.strings, seed=0)
+        s = small_corpus.strings[0]
+        cls = af.class_of(s)
+        assert cls is not None
+        assert af.lookup(s) == af.canonical[cls]
+        assert s in af.members[cls]
+
+    def test_lookup_unknown(self, small_corpus):
+        af = build_authority_file(small_corpus.strings, seed=0)
+        assert af.lookup("zzz-not-a-record") is None
+        assert af.class_of("zzz-not-a-record") is None
+
+    def test_diagnostics(self, small_corpus):
+        af = build_authority_file(small_corpus.strings, seed=0)
+        assert af.n_distance_calls > 0
+        assert af.seconds > 0
+
+
+class TestQuality:
+    def test_variants_of_one_author_mostly_together(self, small_corpus):
+        af = build_authority_file(
+            small_corpus.strings, threshold=2.0, assignment="linear", seed=0
+        )
+        # For each true class, its records should concentrate in one
+        # authority class (splitting is allowed; mixing is the failure).
+        from repro.evaluation import misplaced_count
+
+        mis = misplaced_count(small_corpus.labels, af.record_labels)
+        assert mis <= 0.1 * small_corpus.n_strings
+
+    def test_tighter_threshold_more_classes(self, small_corpus):
+        loose = build_authority_file(small_corpus.strings, threshold=4.0, seed=0)
+        tight = build_authority_file(small_corpus.strings, threshold=1.0, seed=0)
+        assert tight.n_classes >= loose.n_classes
+
+    def test_cache_reduces_calls(self, small_corpus):
+        cached = build_authority_file(small_corpus.strings, cache=True, seed=0)
+        uncached = build_authority_file(small_corpus.strings, cache=False, seed=0)
+        assert cached.n_distance_calls < uncached.n_distance_calls
+
+    def test_custom_metric(self, small_corpus):
+        metric = EditDistance()
+        af = build_authority_file(small_corpus.strings, metric=metric, cache=False, seed=0)
+        assert af.n_distance_calls == metric.n_calls

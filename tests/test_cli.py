@@ -1,0 +1,161 @@
+"""Unit tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.datasets import stream_strings, stream_vectors
+
+
+class TestGenerate:
+    def test_vectors(self, tmp_path, capsys):
+        out = tmp_path / "pts.csv"
+        labels = tmp_path / "labels.txt"
+        code = main([
+            "generate", "cell", str(out), "--labels", str(labels),
+            "--n-points", "200", "--n-clusters", "4", "--dim", "3",
+        ])
+        assert code == 0
+        pts = list(stream_vectors(out))
+        assert len(pts) == 200
+        assert pts[0].shape == (3,)
+        labs = labels.read_text().splitlines()
+        assert len(labs) == 200
+        assert set(map(int, labs)) == {0, 1, 2, 3}
+
+    def test_strings(self, tmp_path):
+        out = tmp_path / "records.txt"
+        code = main([
+            "generate", "strings", str(out),
+            "--n-points", "100", "--n-clusters", "10",
+        ])
+        assert code == 0
+        assert len(list(stream_strings(out))) == 100
+
+    @pytest.mark.parametrize("name", ["ds1", "ds2"])
+    def test_paper_datasets(self, tmp_path, name):
+        out = tmp_path / "pts.csv"
+        assert main(["generate", name, str(out), "--n-points", "300"]) == 0
+        assert len(list(stream_vectors(out))) == 300
+
+
+class TestCluster:
+    def test_vectors_roundtrip(self, tmp_path, capsys):
+        data = tmp_path / "pts.csv"
+        main(["generate", "cell", str(data), "--n-points", "300",
+              "--n-clusters", "3", "--dim", "2"])
+        labels_file = tmp_path / "labels.txt"
+        code = main([
+            "cluster", str(data), "--type", "vectors",
+            "--n-clusters", "3", "--max-nodes", "10",
+            "--output", str(labels_file),
+        ])
+        assert code == 0
+        labels = [int(x) for x in labels_file.read_text().splitlines()]
+        assert len(labels) == 300
+        assert set(labels) == {0, 1, 2}
+        assert "sub-clusters" in capsys.readouterr().out
+
+    def test_strings_with_bubble_fm(self, tmp_path):
+        data = tmp_path / "records.txt"
+        main(["generate", "strings", str(data), "--n-points", "80",
+              "--n-clusters", "8"])
+        code = main([
+            "cluster", str(data), "--type", "strings",
+            "--algorithm", "bubble-fm", "--threshold", "2.0",
+            "--n-clusters", "8",
+        ])
+        assert code == 0
+
+    def test_unknown_metric_fails(self, tmp_path, capsys):
+        data = tmp_path / "pts.csv"
+        main(["generate", "cell", str(data), "--n-points", "50",
+              "--n-clusters", "2", "--dim", "2"])
+        code = main(["cluster", str(data), "--type", "vectors",
+                     "--metric", "cosine"])
+        assert code == 2
+        assert "unknown vector metric" in capsys.readouterr().err
+
+    def test_empty_input_fails(self, tmp_path, capsys):
+        data = tmp_path / "empty.csv"
+        data.write_text("")
+        assert main(["cluster", str(data), "--type", "vectors"]) == 2
+
+
+class TestAuthority:
+    def test_builds_file(self, tmp_path, capsys):
+        data = tmp_path / "records.txt"
+        main(["generate", "strings", str(data), "--n-points", "120",
+              "--n-clusters", "12"])
+        out = tmp_path / "authority.tsv"
+        code = main(["authority", str(data), str(out), "--threshold", "2.0"])
+        assert code == 0
+        lines = out.read_text().splitlines()
+        assert lines
+        for line in lines:
+            canonical, member = line.split("\t")
+            assert canonical and member
+        assert "classes" in capsys.readouterr().out
+
+    def test_empty_input_fails(self, tmp_path):
+        data = tmp_path / "empty.txt"
+        data.write_text("")
+        assert main(["authority", str(data), str(tmp_path / "o.tsv")]) == 2
+
+
+class TestMisc:
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestEvaluate:
+    def test_scores_labels(self, tmp_path, capsys):
+        data = tmp_path / "pts.csv"
+        labels = tmp_path / "truth.txt"
+        main(["generate", "cell", str(data), "--labels", str(labels),
+              "--n-points", "200", "--n-clusters", "4", "--dim", "2"])
+        pred = tmp_path / "pred.txt"
+        main(["cluster", str(data), "--type", "vectors", "--n-clusters", "4",
+              "--max-nodes", "10", "--output", str(pred)])
+        capsys.readouterr()
+        code = main(["evaluate", str(pred), str(labels)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "adjusted Rand index" in out
+        assert "misplaced objects" in out
+
+    def test_perfect_labels(self, tmp_path, capsys):
+        truth = tmp_path / "t.txt"
+        truth.write_text("0\n0\n1\n1\n")
+        code = main(["evaluate", str(truth), str(truth)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "adjusted Rand index: 1.0000" in out
+
+    def test_length_mismatch(self, tmp_path, capsys):
+        a = tmp_path / "a.txt"
+        b = tmp_path / "b.txt"
+        a.write_text("0\n1\n")
+        b.write_text("0\n")
+        assert main(["evaluate", str(a), str(b)]) == 2
+
+
+class TestLogging:
+    def test_rebuilds_logged_at_debug(self, tmp_path, caplog):
+        import logging
+        import numpy as np
+        from repro import BUBBLE
+        from repro.metrics import EuclideanDistance
+
+        rng = np.random.default_rng(0)
+        with caplog.at_level(logging.DEBUG, logger="repro.cftree"):
+            BUBBLE(EuclideanDistance(), max_nodes=6, seed=0).fit(
+                list(rng.uniform(0, 100, size=(400, 2)))
+            )
+        assert any("rebuild #" in r.message for r in caplog.records)

@@ -1,0 +1,88 @@
+"""Unit tests for the CURE comparator."""
+
+import numpy as np
+import pytest
+
+from repro.cure import CURE
+from repro.exceptions import EmptyDatasetError, NotFittedError, ParameterError
+
+
+class TestValidation:
+    def test_params(self):
+        with pytest.raises(ParameterError):
+            CURE(0)
+        with pytest.raises(ParameterError):
+            CURE(2, n_representatives=0)
+        with pytest.raises(ParameterError):
+            CURE(2, shrink_factor=1.0)
+        with pytest.raises(ParameterError):
+            CURE(2, sample_size=0)
+
+    def test_empty(self):
+        with pytest.raises(EmptyDatasetError):
+            CURE(2).fit(np.zeros((0, 2)))
+
+    def test_too_many_clusters(self):
+        with pytest.raises(ParameterError):
+            CURE(5).fit(np.zeros((3, 2)))
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            _ = CURE(2).n_clusters_
+
+
+class TestClustering:
+    def test_recovers_blobs(self, blob_data):
+        points, truth, centers = blob_data
+        model = CURE(5, seed=0).fit(np.vstack(points))
+        assert model.n_clusters_ == 5
+        for c in centers:
+            assert np.min(np.linalg.norm(model.means_ - c, axis=1)) < 1.0
+
+    def test_labels_partition(self, blob_data):
+        points, truth, _ = blob_data
+        model = CURE(5, seed=0).fit(np.vstack(points))
+        assert model.labels_.shape == (len(points),)
+        from repro.evaluation import adjusted_rand_index
+
+        assert adjusted_rand_index(truth, model.labels_) > 0.95
+
+    def test_elongated_cluster_single(self):
+        """CURE's raison d'etre: scattered representatives follow elongated
+        shapes that a single centroid cannot cover."""
+        rng = np.random.default_rng(0)
+        line = np.column_stack([np.linspace(0, 20, 200), 0.1 * rng.normal(size=200)])
+        blob = np.array([10.0, 15.0]) + 0.3 * rng.normal(size=(100, 2))
+        data = np.vstack([line, blob])
+        model = CURE(2, n_representatives=10, shrink_factor=0.2, seed=0).fit(data)
+        labels_line = set(model.labels_[:200].tolist())
+        labels_blob = set(model.labels_[200:].tolist())
+        assert len(labels_line) == 1
+        assert len(labels_blob) == 1
+        assert labels_line != labels_blob
+
+    def test_sampling_path(self, blob_data):
+        points, truth, _ = blob_data
+        model = CURE(5, sample_size=80, seed=0).fit(np.vstack(points))
+        from repro.evaluation import adjusted_rand_index
+
+        assert adjusted_rand_index(truth, model.labels_) > 0.9
+
+    def test_representative_count_bounded(self, blob_data):
+        points, _, _ = blob_data
+        model = CURE(5, n_representatives=4, seed=0).fit(np.vstack(points))
+        for reps in model.representatives_:
+            assert 1 <= len(reps) <= 4
+
+    def test_shrink_zero_reps_are_members_when_small(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [10.0, 0.0], [11.0, 0.0]])
+        model = CURE(2, n_representatives=2, shrink_factor=0.0, seed=0).fit(pts)
+        all_reps = np.vstack(model.representatives_)
+        for rep in all_reps:
+            assert any(np.allclose(rep, p) for p in pts)
+
+    def test_n_clusters_one(self, blob_data):
+        points, _, _ = blob_data
+        model = CURE(1, seed=0).fit(np.vstack(points))
+        assert model.n_clusters_ == 1
+        assert np.all(model.labels_ == 0)

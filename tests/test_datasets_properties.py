@@ -1,0 +1,76 @@
+"""Property-based tests for the dataset generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import make_authority_dataset, make_cell_dataset, make_ds1, make_ds2
+
+
+class TestVectorGeneratorProperties:
+    @given(
+        n_points=st.integers(min_value=10, max_value=400),
+        n_clusters=st.integers(min_value=1, max_value=12),
+        dim=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_cell_dataset_contract(self, n_points, n_clusters, dim, seed):
+        n_clusters = min(n_clusters, 2**dim)  # cells must exist
+        ds = make_cell_dataset(
+            dim=dim, n_clusters=n_clusters, n_points=max(n_points, n_clusters), seed=seed
+        )
+        assert ds.points.shape == (max(n_points, n_clusters), dim)
+        assert ds.labels.min() >= 0
+        assert ds.labels.max() == n_clusters - 1
+        # Every point within its cluster's maximum radius.
+        dists = np.linalg.norm(ds.points - ds.centers[ds.labels], axis=1)
+        assert dists.max() <= 1.0 + 1e-9
+        # Every cluster is populated.
+        assert len(np.unique(ds.labels)) == n_clusters
+
+    @given(
+        n_points=st.integers(min_value=10, max_value=300),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_ds1_balanced_and_labeled(self, n_points, seed):
+        ds = make_ds1(n_points=n_points, grid_side=3, seed=seed)
+        counts = np.bincount(ds.labels, minlength=9)
+        assert counts.max() - counts.min() <= 1
+        assert ds.points.shape == (n_points, 2)
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_ds2_shuffle_is_permutation(self, seed):
+        ds = make_ds2(n_points=120, n_clusters=6, seed=0)
+        sh = ds.shuffled(seed=seed)
+        assert sorted(map(tuple, sh.points.tolist())) == sorted(
+            map(tuple, ds.points.tolist())
+        )
+
+
+class TestStringGeneratorProperties:
+    @given(
+        n_classes=st.integers(min_value=1, max_value=40),
+        extra=st.integers(min_value=0, max_value=200),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_authority_dataset_contract(self, n_classes, extra, seed):
+        n_strings = n_classes + extra
+        ds = make_authority_dataset(
+            n_classes=n_classes, n_strings=n_strings, seed=seed
+        )
+        assert ds.n_strings == n_strings
+        assert set(ds.labels.tolist()) == set(range(n_classes))
+        # Every record string belongs to its labeled class's variant list.
+        for s, lab in zip(ds.strings, ds.labels):
+            assert s in ds.variants[int(lab)]
+        # Variant lists are disjoint across classes.
+        seen: set[str] = set()
+        for forms in ds.variants:
+            for v in forms:
+                assert v not in seen
+                seen.add(v)

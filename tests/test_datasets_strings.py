@@ -1,0 +1,107 @@
+"""Unit tests for the RDS-surrogate string dataset generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_authority_dataset
+from repro.datasets.strings import (
+    add_char,
+    initialize_given_name,
+    omit_char,
+    transpose_chars,
+    transpose_words,
+)
+from repro.exceptions import ParameterError
+from repro.metrics import EditDistance
+
+
+class TestCorruptions:
+    def test_omit_char_shortens(self, rng):
+        assert len(omit_char("abcdef", rng)) == 5
+
+    def test_omit_char_single(self, rng):
+        assert omit_char("a", rng) == "a"
+
+    def test_add_char_lengthens(self, rng):
+        assert len(add_char("abc", rng)) == 4
+
+    def test_transpose_chars_same_multiset(self, rng):
+        out = transpose_chars("abcdef", rng)
+        assert sorted(out) == sorted("abcdef")
+        assert len(out) == 6
+
+    def test_transpose_chars_short(self, rng):
+        assert transpose_chars("a", rng) == "a"
+
+    def test_transpose_words_same_words(self, rng):
+        out = transpose_words("alpha beta gamma", rng)
+        assert sorted(out.split()) == ["alpha", "beta", "gamma"]
+
+    def test_transpose_words_single_word(self, rng):
+        assert transpose_words("alpha", rng) == "alpha"
+
+    def test_initialize_given_name(self, rng):
+        assert initialize_given_name("powell, allison l.", rng) == "powell, a. l."
+
+    def test_initialize_no_comma(self, rng):
+        assert initialize_given_name("nocomma", rng) == "nocomma"
+
+    def test_corruption_keeps_small_edit_distance(self, rng):
+        m = EditDistance()
+        base = "ramakrishnan, raghu t."
+        for op in (omit_char, add_char, transpose_chars):
+            assert m._distance(base, op(base, rng)) <= 2
+
+
+class TestAuthorityDataset:
+    def test_sizes(self):
+        ds = make_authority_dataset(n_classes=20, n_strings=200, seed=0)
+        assert ds.n_strings == 200
+        assert ds.n_classes == 20
+        assert len(ds.labels) == 200
+
+    def test_every_class_appears(self):
+        ds = make_authority_dataset(n_classes=15, n_strings=100, seed=1)
+        assert set(ds.labels.tolist()) == set(range(15))
+
+    def test_labels_match_variants(self):
+        ds = make_authority_dataset(n_classes=10, n_strings=80, seed=2)
+        for s, lab in zip(ds.strings, ds.labels):
+            assert s in ds.variants[int(lab)]
+
+    def test_canonical_is_first_variant(self):
+        ds = make_authority_dataset(n_classes=10, n_strings=50, seed=3)
+        for canon, forms in zip(ds.canonical, ds.variants):
+            assert forms[0] == canon
+
+    def test_variants_distinct_across_classes(self):
+        ds = make_authority_dataset(n_classes=30, n_strings=100, seed=4)
+        all_variants = [v for forms in ds.variants for v in forms]
+        assert len(all_variants) == len(set(all_variants))
+
+    def test_variants_close_to_canonical(self):
+        ds = make_authority_dataset(n_classes=10, n_strings=50, max_corruptions=2, seed=5)
+        m = EditDistance()
+        for canon, forms in zip(ds.canonical, ds.variants):
+            for v in forms:
+                # Each corruption changes at most 2 units of edit distance
+                # (word transposition can cost more); generous bound.
+                assert m._distance(canon, v) <= 2 * 2 * max(1, len(canon) // 4)
+
+    def test_deterministic(self):
+        a = make_authority_dataset(n_classes=10, n_strings=50, seed=6)
+        b = make_authority_dataset(n_classes=10, n_strings=50, seed=6)
+        assert a.strings == b.strings
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_duplicates_allowed(self):
+        ds = make_authority_dataset(n_classes=5, n_strings=500, seed=7)
+        assert ds.n_distinct_variants < 500  # heavy duplication, like RDS
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            make_authority_dataset(n_classes=0)
+        with pytest.raises(ParameterError):
+            make_authority_dataset(n_classes=10, n_strings=5)
+        with pytest.raises(ParameterError):
+            make_authority_dataset(max_corruptions=0)

@@ -1,0 +1,34 @@
+"""Run the executable examples embedded in docstrings.
+
+Keeps the documentation honest: every ``>>>`` block in the public API must
+stay runnable.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.core.preclusterer
+import repro.dbscan.dbscan
+import repro.fastmap.fastmap
+import repro.metrics.base
+import repro.mtree.mtree
+
+MODULES = [
+    repro,
+    repro.metrics.base,
+    repro.fastmap.fastmap,
+    repro.core.preclusterer,
+    repro.mtree.mtree,
+    repro.dbscan.dbscan,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_docstring_examples(module):
+    failures, tests = doctest.testmod(
+        module, verbose=False, optionflags=doctest.ELLIPSIS
+    )
+    assert tests > 0, f"{module.__name__} has no doctests to run"
+    assert failures == 0

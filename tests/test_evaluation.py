@@ -1,0 +1,143 @@
+"""Unit tests for the evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    adjusted_rand_index,
+    clustroid_quality,
+    confusion_matrix,
+    distortion,
+    hungarian_accuracy,
+    majority_mapping,
+    min_possible_clustroid_quality,
+    misplaced_count,
+    rand_index,
+)
+from repro.exceptions import ParameterError
+
+
+class TestDistortion:
+    def test_zero_for_points_at_centroid(self):
+        pts = np.zeros((5, 2))
+        assert distortion(pts, np.zeros(5, dtype=int)) == 0.0
+
+    def test_known_value(self):
+        pts = np.array([[0.0], [2.0]])
+        # centroid 1.0 -> (1 + 1) = 2
+        assert distortion(pts, np.array([0, 0])) == pytest.approx(2.0)
+
+    def test_two_clusters(self):
+        pts = np.array([[0.0], [2.0], [10.0], [12.0]])
+        labels = np.array([0, 0, 1, 1])
+        assert distortion(pts, labels) == pytest.approx(4.0)
+
+    def test_against_custom_centers(self):
+        pts = np.array([[0.0], [2.0]])
+        # against center 0: 0 + 4
+        assert distortion(pts, np.array([0, 0]), centers=[np.array([0.0])]) == pytest.approx(4.0)
+
+    def test_finer_clustering_never_increases_distortion(self):
+        rng = np.random.default_rng(0)
+        pts = rng.normal(size=(50, 2))
+        one = distortion(pts, np.zeros(50, dtype=int))
+        two = distortion(pts, (pts[:, 0] > 0).astype(int))
+        assert two <= one
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            distortion(np.zeros((2, 2)), np.zeros(3, dtype=int))
+        with pytest.raises(ParameterError):
+            distortion(np.zeros((0, 2)), np.zeros(0, dtype=int))
+
+
+class TestClustroidQuality:
+    def test_zero_when_centers_found_exactly(self):
+        centers = np.array([[0.0, 0.0], [5.0, 5.0]])
+        assert clustroid_quality(centers, centers) == 0.0
+
+    def test_known_value(self):
+        true = np.array([[0.0, 0.0]])
+        found = np.array([[3.0, 4.0], [30.0, 40.0]])
+        assert clustroid_quality(true, found) == pytest.approx(5.0)
+
+    def test_extra_found_centers_do_not_hurt(self):
+        true = np.array([[0.0], [10.0]])
+        found_small = np.array([[0.1], [9.9]])
+        found_big = np.vstack([found_small, [[100.0]]])
+        assert clustroid_quality(true, found_big) == pytest.approx(
+            clustroid_quality(true, found_small)
+        )
+
+    def test_min_possible(self):
+        centers = np.array([[0.0, 0.0]])
+        pts = np.array([[1.0, 0.0], [0.0, 2.0], [3.0, 3.0]])
+        labels = np.zeros(3, dtype=int)
+        assert min_possible_clustroid_quality(centers, pts, labels) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            clustroid_quality(np.zeros((2, 2)), np.zeros((2, 3)))
+        with pytest.raises(ParameterError):
+            clustroid_quality(np.zeros((0, 2)), np.zeros((1, 2)))
+
+
+class TestMatching:
+    def test_confusion_matrix(self):
+        cm = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+        expected = np.array([[1, 1], [0, 2]])
+        np.testing.assert_array_equal(cm, expected)
+
+    def test_majority_mapping(self):
+        m = majority_mapping([0, 0, 1, 1, 1], [0, 0, 0, 1, 1])
+        # pred 0 holds {0,0,1} -> majority 0; pred 1 holds {1,1} -> 1.
+        np.testing.assert_array_equal(m, [0, 1])
+
+    def test_misplaced_count_perfect(self):
+        assert misplaced_count([0, 0, 1, 1], [1, 1, 0, 0]) == 0  # relabeled but pure
+
+    def test_misplaced_count_one_error(self):
+        assert misplaced_count([0, 0, 0, 1, 1, 1], [0, 0, 0, 0, 1, 1]) == 1
+
+    def test_misplaced_on_split_cluster_is_zero(self):
+        # Splitting a true class into two pure clusters misplaces nothing.
+        assert misplaced_count([0, 0, 0, 0], [0, 0, 1, 1]) == 0
+
+    def test_hungarian_accuracy_perfect(self):
+        assert hungarian_accuracy([0, 1, 2], [2, 0, 1]) == 1.0
+
+    def test_hungarian_accuracy_partial(self):
+        acc = hungarian_accuracy([0, 0, 1, 1], [0, 1, 1, 1])
+        assert acc == pytest.approx(0.75)
+
+    def test_label_validation(self):
+        with pytest.raises(ParameterError):
+            confusion_matrix([0, 1], [0])
+        with pytest.raises(ParameterError):
+            confusion_matrix([], [])
+        with pytest.raises(ParameterError):
+            confusion_matrix([-1, 0], [0, 0])
+
+
+class TestRandIndices:
+    def test_rand_perfect(self):
+        assert rand_index([0, 0, 1, 1], [1, 1, 0, 0]) == 1.0
+
+    def test_rand_known(self):
+        # labels [0,0,1] vs [0,1,1]: pairs (01):T/F, (02):F/F, (12):F/T -> 1/3.
+        assert rand_index([0, 0, 1], [0, 1, 1]) == pytest.approx(1 / 3)
+
+    def test_ari_perfect(self):
+        assert adjusted_rand_index([0, 0, 1, 1], [1, 1, 0, 0]) == pytest.approx(1.0)
+
+    def test_ari_random_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 5, size=2000)
+        b = rng.integers(0, 5, size=2000)
+        assert abs(adjusted_rand_index(a, b)) < 0.02
+
+    def test_ari_matches_sklearn_formula_on_scipy(self):
+        # Cross-check against an independently computed value.
+        a = [0, 0, 1, 1, 2, 2]
+        b = [0, 0, 1, 2, 2, 2]
+        assert adjusted_rand_index(a, b) == pytest.approx(0.4444444, abs=1e-6)

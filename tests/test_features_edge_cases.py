@@ -1,0 +1,106 @@
+"""Edge-case coverage for CF* maintenance paths that randomized tests reach
+only probabilistically."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import BubbleClusterFeature
+from repro.metrics import EditDistance, EuclideanDistance
+
+
+class TestExactToHeuristicTransition:
+    def test_transition_point(self, euclidean):
+        f = BubbleClusterFeature(euclidean, np.zeros(1), representation_number=4)
+        for v in (1.0, 2.0, 3.0):
+            f.absorb(np.array([v]))
+        assert f.exact
+        assert len(f.representatives) == 4
+        f.absorb(np.array([4.0]))  # 5th object: heuristic kicks in
+        assert not f.exact
+        assert len(f.representatives) == 4
+        assert f.n == 5
+
+    def test_rowsums_stay_consistent_across_transition(self, euclidean):
+        f = BubbleClusterFeature(euclidean, np.zeros(1), representation_number=4)
+        for v in (1.0, 2.0, 3.0, 1.5, 2.5):
+            f.absorb(np.array([v]))
+        # All rowsums non-negative and clustroid has the minimum.
+        rs = f.rowsums
+        assert min(rs) >= 0
+        c_idx = rs.index(min(rs))
+        np.testing.assert_allclose(f.representatives[c_idx], f.clustroid)
+
+
+class TestMergeVariants:
+    def test_exact_plus_heuristic_merge(self, euclidean):
+        small = BubbleClusterFeature(euclidean, np.zeros(2), representation_number=4)
+        small.absorb(np.array([0.1, 0.0]))
+        big = BubbleClusterFeature(euclidean, np.ones(2), representation_number=4)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            big.absorb(np.ones(2) + 0.1 * rng.normal(size=2))
+        assert small.exact and not big.exact
+        big.merge(small)
+        assert big.n == 23
+        assert not big.exact
+        assert len(big.representatives) <= 4
+
+    def test_merge_two_singletons_stays_exact(self, euclidean):
+        a = BubbleClusterFeature(euclidean, np.zeros(1), representation_number=4)
+        b = BubbleClusterFeature(euclidean, np.array([1.0]), representation_number=4)
+        a.merge(b)
+        assert a.exact
+        assert a.n == 2
+        assert a.radius == pytest.approx(np.sqrt(0.5))
+
+    def test_merge_identical_clusters(self, euclidean):
+        a = BubbleClusterFeature(euclidean, np.zeros(2), representation_number=4)
+        b = BubbleClusterFeature(euclidean, np.zeros(2), representation_number=4)
+        a.merge(b)
+        assert a.n == 2
+        assert a.radius == 0.0
+
+    def test_chain_of_merges_population(self, euclidean):
+        rng = np.random.default_rng(1)
+        features = []
+        for i in range(6):
+            f = BubbleClusterFeature(euclidean, rng.normal(size=2), representation_number=4)
+            for _ in range(int(rng.integers(0, 8))):
+                f.absorb(rng.normal(size=2))
+            features.append(f)
+        expected = sum(f.n for f in features)
+        root = features[0]
+        for f in features[1:]:
+            root.merge(f)
+        assert root.n == expected
+
+    def test_string_merge(self):
+        metric = EditDistance()
+        a = BubbleClusterFeature(metric, "cluster", representation_number=4)
+        a.absorb("clusters")
+        b = BubbleClusterFeature(metric, "clustre", representation_number=4)
+        b.absorb("cluter")
+        a.merge(b)
+        assert a.n == 4
+        assert isinstance(a.clustroid, str)
+
+
+class TestRadiusBehaviour:
+    def test_radius_grows_with_spread(self, euclidean):
+        tight = BubbleClusterFeature(euclidean, np.zeros(1), representation_number=6)
+        loose = BubbleClusterFeature(euclidean, np.zeros(1), representation_number=6)
+        rng = np.random.default_rng(2)
+        for _ in range(40):
+            tight.absorb(np.array([0.01 * rng.normal()]))
+            loose.absorb(np.array([1.0 * rng.normal()]))
+        assert loose.radius > tight.radius * 5
+
+    def test_radius_approximates_rms_in_heuristic_mode(self, euclidean):
+        rng = np.random.default_rng(3)
+        pts = [rng.normal(size=2) for _ in range(300)]
+        f = BubbleClusterFeature(euclidean, pts[0], representation_number=10)
+        for p in pts[1:]:
+            f.absorb(p)
+        true_center = np.mean(pts, axis=0)
+        true_rms = np.sqrt(np.mean([np.linalg.norm(p - true_center) ** 2 for p in pts]))
+        assert f.radius == pytest.approx(true_rms, rel=0.3)

@@ -1,0 +1,103 @@
+"""Property-based tests for the BUBBLE CF* invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.features import BubbleClusterFeature
+from repro.metrics import EuclideanDistance, FunctionDistance
+
+points = st.lists(
+    st.tuples(
+        st.floats(min_value=-50, max_value=50, allow_nan=False),
+        st.floats(min_value=-50, max_value=50, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def build_feature(objs, rep_number=8):
+    metric = EuclideanDistance()
+    f = BubbleClusterFeature(metric, np.asarray(objs[0], dtype=float), rep_number)
+    for o in objs[1:]:
+        f.absorb(np.asarray(o, dtype=float))
+    return metric, f
+
+
+class TestInvariants:
+    @given(objs=points)
+    @settings(max_examples=100, deadline=None)
+    def test_n_equals_insertions(self, objs):
+        _, f = build_feature(objs)
+        assert f.n == len(objs)
+
+    @given(objs=points)
+    @settings(max_examples=100, deadline=None)
+    def test_radius_nonnegative_finite(self, objs):
+        _, f = build_feature(objs)
+        assert np.isfinite(f.radius)
+        assert f.radius >= 0.0
+
+    @given(objs=points)
+    @settings(max_examples=100, deadline=None)
+    def test_rep_count_bounded(self, objs):
+        _, f = build_feature(objs, rep_number=6)
+        assert 1 <= len(f.representatives) <= max(6, 1)
+
+    @given(objs=points)
+    @settings(max_examples=100, deadline=None)
+    def test_clustroid_is_member_while_exact(self, objs):
+        _, f = build_feature(objs, rep_number=30)  # cap above max_size: stays exact
+        assert f.exact
+        member_set = {tuple(np.asarray(o, dtype=float)) for o in objs}
+        assert tuple(np.asarray(f.clustroid)) in member_set
+
+    @given(objs=points)
+    @settings(max_examples=100, deadline=None)
+    def test_exact_clustroid_minimizes_rowsum(self, objs):
+        metric, f = build_feature(objs, rep_number=30)
+        vecs = [np.asarray(o, dtype=float) for o in objs]
+        rowsums = [
+            sum(float(np.linalg.norm(a - b)) ** 2 for b in vecs) for a in vecs
+        ]
+        best = min(rowsums)
+        got = sum(
+            float(np.linalg.norm(np.asarray(f.clustroid) - b)) ** 2 for b in vecs
+        )
+        assert got <= best + 1e-6
+
+    @given(objs_a=points, objs_b=points)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_conserves_population(self, objs_a, objs_b):
+        _, fa = build_feature(objs_a)
+        _, fb = build_feature(objs_b)
+        fa.merge(fb)
+        assert fa.n == len(objs_a) + len(objs_b)
+        assert np.isfinite(fa.radius)
+
+
+class TestObservationOne:
+    @given(objs=points)
+    @settings(max_examples=60, deadline=None)
+    def test_rowsum_estimate_upper_bounds_truth(self, objs):
+        """Observation 1: n r^2 + n d^2(clustroid, o) >= true RowSum(o)
+        when the clustroid image coincides with the image centroid; in
+        general it approximates it. We check it is within a factor of the
+        exact value plus slack for small clusters."""
+        if len(objs) < 3:
+            return
+        metric = EuclideanDistance()
+        vecs = [np.asarray(o, dtype=float) for o in objs]
+        f = BubbleClusterFeature(metric, vecs[0], representation_number=30)
+        for v in vecs[1:]:
+            f.absorb(v)
+        new = np.asarray([100.0, -100.0])
+        true_rowsum = sum(float(np.linalg.norm(new - v)) ** 2 for v in vecs)
+        d0 = float(np.linalg.norm(new - np.asarray(f.clustroid)))
+        estimate = f.n * (f.radius**2 + d0**2)
+        # The estimate replaces the centroid with the clustroid; it can only
+        # overshoot by the clustroid-centroid gap, never undershoot by more
+        # than that gap times distances. Allow 30% tolerance.
+        assert estimate >= 0.5 * true_rowsum
+        assert estimate <= 2.0 * true_rowsum

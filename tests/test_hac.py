@@ -1,0 +1,149 @@
+"""Unit tests for the hierarchical agglomerative global phase."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EmptyDatasetError, NotFittedError, ParameterError
+from repro.hac import AgglomerativeClusterer, linkage_matrix
+from repro.metrics import EuclideanDistance
+
+
+def two_pairs_matrix():
+    # Items 0,1 close; 2,3 close; the pairs far apart.
+    pts = [np.array([0.0]), np.array([1.0]), np.array([10.0]), np.array([11.0])]
+    return EuclideanDistance().pairwise(pts)
+
+
+class TestConstruction:
+    def test_requires_exactly_one_stop_rule(self):
+        with pytest.raises(ParameterError):
+            AgglomerativeClusterer()
+        with pytest.raises(ParameterError):
+            AgglomerativeClusterer(n_clusters=2, distance_threshold=1.0)
+
+    def test_rejects_unknown_linkage(self):
+        with pytest.raises(ParameterError):
+            AgglomerativeClusterer(n_clusters=2, linkage="ward")
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ParameterError):
+            AgglomerativeClusterer(n_clusters=0)
+        with pytest.raises(ParameterError):
+            AgglomerativeClusterer(distance_threshold=-1.0)
+
+
+class TestFit:
+    @pytest.mark.parametrize("linkage", ["single", "complete", "average", "weighted"])
+    def test_two_obvious_clusters(self, linkage):
+        model = AgglomerativeClusterer(n_clusters=2, linkage=linkage)
+        model.fit(distance_matrix=two_pairs_matrix())
+        labels = model.labels_
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_from_objects_and_metric(self):
+        pts = [np.array([0.0, 0.0]), np.array([0.1, 0.0]), np.array([9.0, 9.0])]
+        model = AgglomerativeClusterer(n_clusters=2).fit(
+            objects=pts, metric=EuclideanDistance()
+        )
+        assert model.labels_[0] == model.labels_[1] != model.labels_[2]
+
+    def test_requires_inputs(self):
+        with pytest.raises(ParameterError):
+            AgglomerativeClusterer(n_clusters=1).fit()
+
+    def test_empty_matrix(self):
+        with pytest.raises(EmptyDatasetError):
+            AgglomerativeClusterer(n_clusters=1).fit(distance_matrix=np.zeros((0, 0)))
+
+    def test_n_clusters_exceeds_items(self):
+        with pytest.raises(ParameterError):
+            AgglomerativeClusterer(n_clusters=5).fit(distance_matrix=np.zeros((2, 2)))
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ParameterError):
+            AgglomerativeClusterer(n_clusters=1).fit(distance_matrix=np.zeros((2, 3)))
+
+    def test_n_clusters_equals_items_is_identity(self):
+        dm = two_pairs_matrix()
+        model = AgglomerativeClusterer(n_clusters=4).fit(distance_matrix=dm)
+        assert len(set(model.labels_.tolist())) == 4
+
+    def test_single_item(self):
+        model = AgglomerativeClusterer(n_clusters=1).fit(distance_matrix=np.zeros((1, 1)))
+        assert model.labels_.tolist() == [0]
+
+
+class TestDistanceThreshold:
+    def test_threshold_stops_merging(self):
+        model = AgglomerativeClusterer(distance_threshold=2.0)
+        model.fit(distance_matrix=two_pairs_matrix())
+        assert model.n_clusters_ == 2
+
+    def test_huge_threshold_single_cluster(self):
+        model = AgglomerativeClusterer(distance_threshold=100.0)
+        model.fit(distance_matrix=two_pairs_matrix())
+        assert model.n_clusters_ == 1
+
+
+class TestLinkageSemantics:
+    def test_single_chains_complete_does_not(self):
+        # A chain of points: single linkage merges the chain into one
+        # cluster before bridging a gap; complete linkage is more reluctant.
+        pts = [np.array([float(i)]) for i in range(6)] + [np.array([100.0])]
+        dm = EuclideanDistance().pairwise(pts)
+        single = AgglomerativeClusterer(n_clusters=2, linkage="single").fit(distance_matrix=dm)
+        assert single.labels_[0] == single.labels_[5]
+        assert single.labels_[0] != single.labels_[6]
+
+    def test_weights_shift_average_linkage(self):
+        # Item 2 sits between clusters {0,1} and {3}; a heavy weight on the
+        # far side of an average-linkage merge pulls distances.
+        pts = [np.array([0.0]), np.array([0.5]), np.array([5.0]), np.array([10.0])]
+        dm = EuclideanDistance().pairwise(pts)
+        unweighted = AgglomerativeClusterer(n_clusters=2, linkage="average").fit(
+            distance_matrix=dm
+        )
+        weighted = AgglomerativeClusterer(n_clusters=2, linkage="average").fit(
+            distance_matrix=dm, weights=[100.0, 100.0, 1.0, 1.0]
+        )
+        assert unweighted.n_clusters_ == weighted.n_clusters_ == 2
+
+    def test_weights_validation(self):
+        with pytest.raises(ParameterError):
+            AgglomerativeClusterer(n_clusters=1).fit(
+                distance_matrix=np.zeros((2, 2)), weights=[1.0]
+            )
+
+
+class TestIntrospection:
+    def test_not_fitted(self):
+        model = AgglomerativeClusterer(n_clusters=2)
+        with pytest.raises(NotFittedError):
+            _ = model.n_clusters_
+        with pytest.raises(NotFittedError):
+            model.cluster_members()
+
+    def test_cluster_members_partition(self):
+        model = AgglomerativeClusterer(n_clusters=2).fit(distance_matrix=two_pairs_matrix())
+        members = model.cluster_members()
+        assert sorted(i for grp in members for i in grp) == [0, 1, 2, 3]
+
+    def test_merge_history_length(self):
+        model = AgglomerativeClusterer(n_clusters=1).fit(distance_matrix=two_pairs_matrix())
+        assert len(model.merges_) == 3  # n - 1 merges to a single cluster
+
+    def test_linkage_matrix_shape_and_sizes(self):
+        model = AgglomerativeClusterer(n_clusters=1).fit(distance_matrix=two_pairs_matrix())
+        z = linkage_matrix(model.merges_, 4)
+        assert z.shape == (3, 4)
+        assert z[-1, 3] == 4  # final cluster holds everything
+
+    def test_merge_distances_monotone_for_average(self):
+        rng = np.random.default_rng(0)
+        pts = list(rng.normal(size=(12, 2)))
+        dm = EuclideanDistance().pairwise(pts)
+        model = AgglomerativeClusterer(n_clusters=1, linkage="complete").fit(distance_matrix=dm)
+        dists = [d for (_, _, d) in model.merges_]
+        assert all(b >= a - 1e-9 for a, b in zip(dists, dists[1:]))

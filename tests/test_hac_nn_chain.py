@@ -1,0 +1,122 @@
+"""Equivalence and property tests for the nearest-neighbour-chain HAC."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ParameterError
+from repro.hac import AgglomerativeClusterer
+from repro.metrics import EuclideanDistance
+
+
+def partitions_equal(labels_a, labels_b) -> bool:
+    """Same partition up to label renaming."""
+    mapping = {}
+    for a, b in zip(labels_a, labels_b):
+        if a in mapping and mapping[a] != b:
+            return False
+        mapping[a] = b
+    return len(set(mapping.values())) == len(mapping)
+
+
+point_sets = st.lists(
+    st.tuples(
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+    ),
+    min_size=2,
+    max_size=25,
+    unique=True,
+)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("linkage", ["single", "complete", "average", "weighted"])
+    def test_methods_agree_on_random_data(self, linkage, rng):
+        pts = list(rng.normal(size=(30, 2)))
+        dm = EuclideanDistance().pairwise(pts)
+        for k in (1, 3, 7):
+            generic = AgglomerativeClusterer(
+                n_clusters=k, linkage=linkage, method="generic"
+            ).fit(distance_matrix=dm)
+            chain = AgglomerativeClusterer(
+                n_clusters=k, linkage=linkage, method="nn-chain"
+            ).fit(distance_matrix=dm)
+            assert partitions_equal(generic.labels_, chain.labels_), (linkage, k)
+
+    @pytest.mark.parametrize("linkage", ["single", "average"])
+    def test_methods_agree_with_threshold(self, linkage, rng):
+        pts = list(rng.normal(size=(25, 2)))
+        dm = EuclideanDistance().pairwise(pts)
+        for t in (0.3, 1.0, 3.0):
+            generic = AgglomerativeClusterer(
+                distance_threshold=t, linkage=linkage, method="generic"
+            ).fit(distance_matrix=dm.copy())
+            chain = AgglomerativeClusterer(
+                distance_threshold=t, linkage=linkage, method="nn-chain"
+            ).fit(distance_matrix=dm.copy())
+            assert generic.n_clusters_ == chain.n_clusters_
+            assert partitions_equal(generic.labels_, chain.labels_)
+
+    @given(pts=point_sets)
+    @settings(max_examples=50, deadline=None)
+    def test_property_agreement_average_linkage(self, pts):
+        dm = EuclideanDistance().pairwise([np.asarray(p) for p in pts])
+        k = max(1, len(pts) // 3)
+        generic = AgglomerativeClusterer(n_clusters=k, method="generic").fit(
+            distance_matrix=dm.copy()
+        )
+        chain = AgglomerativeClusterer(n_clusters=k, method="nn-chain").fit(
+            distance_matrix=dm.copy()
+        )
+        assert partitions_equal(generic.labels_, chain.labels_)
+
+
+class TestNNChainDetails:
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ParameterError):
+            AgglomerativeClusterer(n_clusters=1, method="heap")
+
+    def test_auto_is_default(self):
+        assert AgglomerativeClusterer(n_clusters=1).method == "auto"
+
+    def test_single_item(self):
+        model = AgglomerativeClusterer(n_clusters=1, method="nn-chain").fit(
+            distance_matrix=np.zeros((1, 1))
+        )
+        assert model.labels_.tolist() == [0]
+
+    def test_merges_heights_valid(self, rng):
+        pts = list(rng.normal(size=(20, 2)))
+        dm = EuclideanDistance().pairwise(pts)
+        model = AgglomerativeClusterer(n_clusters=1, method="nn-chain").fit(
+            distance_matrix=dm
+        )
+        assert len(model.merges_) == 19
+        heights = [d for _, _, d in model.merges_]
+        assert heights == sorted(heights)  # applied in height order
+
+    def test_weighted_sizes_respected(self, rng):
+        pts = [np.array([0.0]), np.array([1.0]), np.array([5.0])]
+        dm = EuclideanDistance().pairwise(pts)
+        for method in ("generic", "nn-chain"):
+            model = AgglomerativeClusterer(
+                n_clusters=2, linkage="average", method=method
+            ).fit(distance_matrix=dm.copy(), weights=[10.0, 1.0, 1.0])
+            assert model.labels_[0] == model.labels_[1] != model.labels_[2]
+
+    def test_faster_than_generic_at_scale(self, rng):
+        import time
+
+        pts = list(rng.normal(size=(300, 2)))
+        dm = EuclideanDistance().pairwise(pts)
+        start = time.perf_counter()
+        AgglomerativeClusterer(n_clusters=5, method="generic").fit(distance_matrix=dm.copy())
+        t_generic = time.perf_counter() - start
+        start = time.perf_counter()
+        AgglomerativeClusterer(n_clusters=5, method="nn-chain").fit(distance_matrix=dm.copy())
+        t_chain = time.perf_counter() - start
+        # Not a strict benchmark; just ensure the chain path is not
+        # pathologically slower while its asymptotics are better.
+        assert t_chain < max(t_generic * 2, 1.0)

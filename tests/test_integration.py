@@ -1,0 +1,143 @@
+"""Integration tests: cross-module behaviour and the paper's qualitative
+claims at miniature scale."""
+
+import numpy as np
+import pytest
+
+from repro import BUBBLE, BUBBLEFM
+from repro.datasets import make_authority_dataset, make_cell_dataset, make_ds2
+from repro.evaluation import (
+    adjusted_rand_index,
+    clustroid_quality,
+    distortion,
+    min_possible_clustroid_quality,
+    misplaced_count,
+)
+from repro.metrics import EditDistance, EuclideanDistance
+from repro.pipelines import cluster_dataset
+from repro.red import REDClusterer
+
+
+class TestVectorQuality:
+    def test_ds2_clustroids_trace_the_wave(self):
+        """Figures 1-2: discovered clustroids follow the sine wave."""
+        ds = make_ds2(n_points=2000, n_clusters=20, seed=0)
+        for algorithm in ("bubble", "bubble-fm"):
+            res = cluster_dataset(
+                ds.as_objects(),
+                EuclideanDistance(),
+                n_clusters=20,
+                algorithm=algorithm,
+                max_nodes=40,
+                image_dim=2,
+                assign=False,
+                seed=1,
+            )
+            centers = np.vstack(res.centers)
+            cq = clustroid_quality(ds.centers, centers)
+            assert cq < 1.0, f"{algorithm} clustroids stray from the wave"
+
+    def test_cq_close_to_floor_on_cell_dataset(self):
+        """Table 2: CQ close to its minimum possible value."""
+        ds = make_cell_dataset(dim=10, n_clusters=10, n_points=2000, seed=0)
+        res = cluster_dataset(
+            ds.as_objects(), EuclideanDistance(), 10, max_nodes=30, seed=1
+        )
+        floor = min_possible_clustroid_quality(ds.centers, ds.points, ds.labels)
+        cq = clustroid_quality(ds.centers, np.vstack(res.centers))
+        assert cq < max(4 * floor, 0.5)
+
+    def test_computed_distortion_matches_actual(self):
+        """Table 2: distortion of discovered clusters ~= distortion of the
+        true clustering."""
+        ds = make_cell_dataset(dim=10, n_clusters=10, n_points=2000, seed=2)
+        res = cluster_dataset(
+            ds.as_objects(), EuclideanDistance(), 10, max_nodes=30, seed=3
+        )
+        actual = distortion(ds.points, ds.labels)
+        computed = distortion(ds.points, res.labels)
+        assert computed == pytest.approx(actual, rel=0.1)
+
+    def test_high_ari_on_well_separated_data(self):
+        ds = make_cell_dataset(dim=6, n_clusters=8, n_points=1600, seed=4)
+        res = cluster_dataset(
+            ds.as_objects(), EuclideanDistance(), 8, max_nodes=30, seed=5
+        )
+        assert adjusted_rand_index(ds.labels, res.labels) > 0.9
+
+
+class TestOrderIndependence:
+    def test_quality_stable_under_input_order(self):
+        """Footnote 5: results are (nearly) input-order independent."""
+        ds = make_cell_dataset(dim=6, n_clusters=6, n_points=1200, seed=6)
+        distortions = []
+        for order_seed in (0, 1):
+            shuffled = ds.shuffled(seed=order_seed)
+            res = cluster_dataset(
+                shuffled.as_objects(),
+                EuclideanDistance(),
+                6,
+                max_nodes=25,
+                seed=7,
+            )
+            distortions.append(distortion(shuffled.points, res.labels))
+        lo, hi = min(distortions), max(distortions)
+        assert hi <= lo * 1.25
+
+
+class TestNCDClaims:
+    def test_bubble_fm_reduces_ncd(self):
+        """Figure 5's claim: BUBBLE-FM makes fewer calls to d than BUBBLE
+        once trees get deep."""
+        rng = np.random.default_rng(8)
+        points = list(rng.uniform(0, 1000, size=(2000, 2)))
+        m_b, m_fm = EuclideanDistance(), EuclideanDistance()
+        BUBBLE(m_b, branching_factor=8, sample_size=40, max_nodes=50, seed=0).fit(points)
+        BUBBLEFM(
+            m_fm, branching_factor=8, sample_size=40, max_nodes=50, image_dim=2, seed=0
+        ).fit(points)
+        assert m_fm.n_calls < m_b.n_calls
+
+
+class TestDataCleaning:
+    def test_bubble_fm_clusters_string_variants(self):
+        """Section 7 at miniature scale: BUBBLE-FM groups author-name
+        variants with modest misplacement."""
+        ds = make_authority_dataset(n_classes=30, n_strings=300, seed=0)
+        metric = EditDistance()
+        model = BUBBLEFM(
+            metric, branching_factor=10, sample_size=30, image_dim=3,
+            threshold=2.0, seed=1,
+        ).fit(ds.strings)
+        labels = model.assign(ds.strings)
+        mis = misplaced_count(ds.labels, labels)
+        assert mis <= 0.25 * ds.n_strings
+
+    def test_red_and_bubble_fm_comparable_quality(self):
+        ds = make_authority_dataset(n_classes=25, n_strings=250, seed=2)
+        red = REDClusterer(threshold=0.25).fit(ds.strings)
+        mis_red = misplaced_count(ds.labels, red.labels_)
+        metric = EditDistance()
+        model = BUBBLEFM(metric, image_dim=3, threshold=2.0, seed=3).fit(ds.strings)
+        mis_fm = misplaced_count(ds.labels, model.assign(ds.strings))
+        # Both should be decent; BUBBLE-FM may misplace somewhat more
+        # (Table 3 run 1) but not catastrophically.
+        assert mis_red <= 0.2 * ds.n_strings
+        assert mis_fm <= 0.3 * ds.n_strings
+
+
+class TestScalability:
+    def test_tree_height_logarithmic(self):
+        rng = np.random.default_rng(9)
+        points = list(rng.uniform(0, 10_000, size=(3000, 2)))
+        model = BUBBLE(
+            EuclideanDistance(), branching_factor=10, max_nodes=200, seed=0
+        ).fit(points)
+        assert model.tree_.height <= 6
+
+    def test_memory_bound_respected_throughout(self):
+        rng = np.random.default_rng(10)
+        model = BUBBLE(EuclideanDistance(), max_nodes=20, seed=0)
+        points = list(rng.uniform(0, 100, size=(2000, 2)))
+        model.fit(points)
+        assert model.tree_.n_nodes <= 20

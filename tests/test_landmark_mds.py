@@ -1,0 +1,119 @@
+"""Unit tests for Landmark MDS and the pluggable BUBBLE-FM mapper."""
+
+import numpy as np
+import pytest
+
+from repro import BUBBLEFM
+from repro.exceptions import EmptyDatasetError, NotFittedError, ParameterError
+from repro.fastmap import LandmarkMDS, stress
+from repro.metrics import EditDistance, EuclideanDistance
+
+
+class TestLandmarkMDS:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            LandmarkMDS("metric", 2)
+        with pytest.raises(ParameterError):
+            LandmarkMDS(EuclideanDistance(), 0)
+        with pytest.raises(ParameterError):
+            LandmarkMDS(EuclideanDistance(), k=3, n_landmarks=2)
+
+    def test_empty(self):
+        with pytest.raises(EmptyDatasetError):
+            LandmarkMDS(EuclideanDistance(), 2, seed=0).fit([])
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            LandmarkMDS(EuclideanDistance(), 2, seed=0).transform(np.zeros(2))
+
+    def test_embedding_shape(self):
+        rng = np.random.default_rng(0)
+        pts = list(rng.normal(size=(30, 3)))
+        lm = LandmarkMDS(EuclideanDistance(), k=3, seed=0)
+        images = lm.fit(pts)
+        assert images.shape == (30, 3)
+        assert lm.embedding_ is images
+
+    def test_preserves_euclidean_distances(self):
+        rng = np.random.default_rng(1)
+        pts = list(rng.normal(size=(40, 2)))
+        metric = EuclideanDistance()
+        lm = LandmarkMDS(metric, k=2, seed=1)
+        images = lm.fit(pts)
+        assert stress(pts, images, EuclideanDistance()) < 0.05
+
+    def test_often_beats_fastmap_stress(self):
+        from repro.fastmap import FastMap
+
+        rng = np.random.default_rng(2)
+        pts = list(rng.normal(size=(50, 5)))
+        lm_images = LandmarkMDS(EuclideanDistance(), k=5, seed=2).fit(pts)
+        fm_images = FastMap(EuclideanDistance(), k=5, iterations=1, seed=2).fit(pts)
+        s_lm = stress(pts, lm_images, EuclideanDistance())
+        s_fm = stress(pts, fm_images, EuclideanDistance())
+        assert s_lm <= s_fm + 0.02
+
+    def test_transform_consistent_with_fit(self):
+        rng = np.random.default_rng(3)
+        pts = list(rng.normal(size=(25, 2)))
+        lm = LandmarkMDS(EuclideanDistance(), k=2, seed=3)
+        images = lm.fit(pts)
+        for i in (0, 10, 24):
+            v = lm.transform(pts[i])
+            assert np.linalg.norm(v - images[i]) < 1e-6
+
+    def test_transform_cost(self):
+        rng = np.random.default_rng(4)
+        pts = list(rng.normal(size=(30, 2)))
+        metric = EuclideanDistance()
+        lm = LandmarkMDS(metric, k=2, seed=4)
+        lm.fit(pts)
+        before = metric.n_calls
+        lm.transform(np.zeros(2))
+        assert metric.n_calls - before == lm.n_pivot_calls_per_object
+
+    def test_duplicate_objects(self):
+        pts = [np.zeros(2)] * 10
+        lm = LandmarkMDS(EuclideanDistance(), k=2, seed=5)
+        images = lm.fit(pts)
+        assert np.allclose(images, images[0])
+
+    def test_works_on_strings(self):
+        words = ["cat", "cart", "carts", "dog", "dogs", "digs", "cog", "bat"]
+        lm = LandmarkMDS(EditDistance(), k=2, n_landmarks=4, seed=6)
+        images = lm.fit(words)
+        assert images.shape == (8, 2)
+        assert np.all(np.isfinite(images))
+
+    def test_transform_many(self):
+        rng = np.random.default_rng(7)
+        pts = list(rng.normal(size=(20, 2)))
+        lm = LandmarkMDS(EuclideanDistance(), k=2, seed=7)
+        lm.fit(pts)
+        assert lm.transform_many(pts[:5]).shape == (5, 2)
+        assert lm.transform_many([]).shape == (0, 2)
+
+
+class TestBubbleFMWithLandmark:
+    def test_rejects_unknown_mapper(self):
+        from repro.core.bubble_fm import BubbleFMPolicy
+
+        with pytest.raises(ParameterError):
+            BubbleFMPolicy(EuclideanDistance(), mapper="isomap")
+
+    def test_landmark_mapper_clusters_blobs(self, blob_data):
+        points, labels, centers = blob_data
+        model = BUBBLEFM(
+            EuclideanDistance(), max_nodes=10, image_dim=2,
+            mapper="landmark", seed=0,
+        ).fit(points)
+        clustroids = np.asarray(model.clustroids_)
+        for c in centers:
+            assert np.min(np.linalg.norm(clustroids - c, axis=1)) < 1.5
+
+    def test_landmark_on_strings(self):
+        strings = ["cat", "cart", "carts", "dog", "dogs", "dig"] * 5
+        model = BUBBLEFM(
+            EditDistance(), image_dim=2, threshold=1.0, mapper="landmark", seed=0
+        ).fit(strings)
+        assert model.n_subclusters_ >= 2

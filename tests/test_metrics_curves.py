@@ -1,0 +1,107 @@
+"""Unit and property tests for the discrete Fréchet distance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import MetricError
+from repro.metrics import DiscreteFrechetDistance, discrete_frechet
+
+curves = st.lists(
+    st.tuples(
+        st.floats(min_value=-10, max_value=10, allow_nan=False),
+        st.floats(min_value=-10, max_value=10, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=8,
+).map(lambda pts: np.asarray(pts, dtype=float))
+
+
+class TestKnownValues:
+    def test_parallel_segments(self):
+        # Two horizontal segments one unit apart: leash length 1.
+        assert discrete_frechet([[0, 0], [1, 0]], [[0, 1], [1, 1]]) == pytest.approx(1.0)
+
+    def test_identical_curves(self):
+        c = [[0, 0], [1, 2], [3, 1]]
+        assert discrete_frechet(c, c) == 0.0
+
+    def test_single_points(self):
+        assert discrete_frechet([[0, 0]], [[3, 4]]) == pytest.approx(5.0)
+
+    def test_point_vs_curve(self):
+        # One point against a segment: leash must reach the far end.
+        d = discrete_frechet([[0, 0]], [[0, 0], [5, 0]])
+        assert d == pytest.approx(5.0)
+
+    def test_reversal_matters(self):
+        # Fréchet is order-sensitive: a curve against its reverse differs.
+        c = np.array([[0.0, 0.0], [10.0, 0.0]])
+        assert discrete_frechet(c, c[::-1]) == pytest.approx(10.0)
+
+    def test_one_dimensional_curves(self):
+        assert discrete_frechet([0.0, 1.0, 2.0], [0.0, 1.0, 2.5]) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(MetricError):
+            discrete_frechet([[0, 0]], [[0, 0, 0]])
+        with pytest.raises(MetricError):
+            discrete_frechet(np.zeros((0, 2)), [[0, 0]])
+
+
+class TestMetricAxioms:
+    @given(a=curves, b=curves)
+    @settings(max_examples=100, deadline=None)
+    def test_symmetry_nonnegativity(self, a, b):
+        m = DiscreteFrechetDistance()
+        dab = m.distance(a, b)
+        assert dab >= 0
+        assert dab == pytest.approx(m.distance(b, a))
+        assert m.distance(a, a) == 0.0
+
+    @given(a=curves, b=curves, c=curves)
+    @settings(max_examples=100, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        m = DiscreteFrechetDistance()
+        assert m.distance(a, b) <= m.distance(a, c) + m.distance(c, b) + 1e-9
+
+    @given(a=curves, b=curves)
+    @settings(max_examples=60, deadline=None)
+    def test_bounded_by_hausdorff_like_extremes(self, a, b):
+        """Fréchet >= max-min point distance (directed Hausdorff lower
+        bound) and <= max pairwise distance."""
+        m = DiscreteFrechetDistance()
+        d = m.distance(a, b)
+        diff = a[:, None, :] - b[None, :, :]
+        pd = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+        assert d >= pd.min(axis=1).max() - 1e-9
+        assert d <= pd.max() + 1e-9
+
+
+class TestWithBubble:
+    def test_clusters_trajectory_families(self):
+        """BUBBLE groups trajectories by shape under Fréchet distance."""
+        from repro import BUBBLE
+
+        rng = np.random.default_rng(0)
+        t = np.linspace(0, 1, 12)
+
+        def straight():
+            return np.column_stack([t * 10, np.zeros_like(t)]) + 0.1 * rng.normal(size=(12, 2))
+
+        def arc():
+            return np.column_stack([t * 10, 4 * np.sin(np.pi * t)]) + 0.1 * rng.normal(size=(12, 2))
+
+        curves_data = [straight() for _ in range(15)] + [arc() for _ in range(15)]
+        truth = np.array([0] * 15 + [1] * 15)
+        order = rng.permutation(30)
+        curves_data = [curves_data[i] for i in order]
+        truth = truth[order]
+
+        metric = DiscreteFrechetDistance()
+        model = BUBBLE(metric, threshold=1.0, seed=0).fit(curves_data)
+        labels = model.assign(curves_data)
+        from repro.evaluation import misplaced_count
+
+        assert misplaced_count(truth, labels) == 0

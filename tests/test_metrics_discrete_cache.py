@@ -1,0 +1,107 @@
+"""Unit tests for discrete metrics and the caching wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MetricError, ParameterError
+from repro.metrics import (
+    CachedDistance,
+    DiscreteMetric,
+    EditDistance,
+    HammingDistance,
+    JaccardDistance,
+)
+
+
+class TestHamming:
+    def test_known(self):
+        assert HammingDistance().distance("karolin", "kathrin") == 3
+
+    def test_equal_length_required(self):
+        with pytest.raises(MetricError):
+            HammingDistance().distance("ab", "abc")
+
+    def test_works_on_tuples(self):
+        assert HammingDistance().distance((1, 2, 3), (1, 0, 3)) == 1
+
+
+class TestJaccard:
+    def test_known(self):
+        assert JaccardDistance().distance({1, 2, 3}, {2, 3, 4}) == pytest.approx(0.5)
+
+    def test_disjoint(self):
+        assert JaccardDistance().distance({1}, {2}) == 1.0
+
+    def test_both_empty(self):
+        assert JaccardDistance().distance(set(), set()) == 0.0
+
+    def test_accepts_iterables(self):
+        assert JaccardDistance().distance("abc", "abd") == pytest.approx(0.5)
+
+
+class TestDiscrete:
+    def test_zero_one(self):
+        m = DiscreteMetric()
+        assert m.distance("x", "x") == 0.0
+        assert m.distance("x", "y") == 1.0
+
+
+class TestCachedDistance:
+    def test_cache_hit_avoids_call(self):
+        inner = EditDistance()
+        m = CachedDistance(inner)
+        d1 = m.distance("kitten", "sitting")
+        d2 = m.distance("kitten", "sitting")
+        assert d1 == d2 == 3
+        assert inner.n_calls == 1
+        assert m.n_hits == 1
+
+    def test_symmetric_key(self):
+        inner = EditDistance()
+        m = CachedDistance(inner)
+        m.distance("abc", "abd")
+        m.distance("abd", "abc")
+        assert inner.n_calls == 1
+
+    def test_eviction(self):
+        inner = EditDistance()
+        m = CachedDistance(inner, maxsize=2)
+        m.distance("a", "b")
+        m.distance("c", "d")
+        m.distance("e", "f")  # evicts (a, b)
+        m.distance("a", "b")
+        assert inner.n_calls == 4
+
+    def test_one_to_many_uses_cache(self):
+        inner = EditDistance()
+        m = CachedDistance(inner)
+        m.one_to_many("cat", ["car", "cut"])
+        m.one_to_many("cat", ["car", "bat"])
+        assert inner.n_calls == 3
+        assert m.n_hits == 1
+
+    def test_reset_clears_hits(self):
+        m = CachedDistance(EditDistance())
+        m.distance("a", "b")
+        m.distance("a", "b")
+        m.reset_counter()
+        assert m.n_hits == 0
+        assert m.n_calls == 0
+
+    def test_rejects_bad_inner(self):
+        with pytest.raises(ParameterError):
+            CachedDistance(lambda a, b: 0)
+
+    def test_rejects_bad_maxsize(self):
+        with pytest.raises(ParameterError):
+            CachedDistance(EditDistance(), maxsize=0)
+
+    def test_custom_key_for_vectors(self):
+        from repro.metrics import EuclideanDistance
+
+        inner = EuclideanDistance()
+        m = CachedDistance(inner, key=lambda v: np.asarray(v).tobytes())
+        a, b = np.array([0.0, 0.0]), np.array([3.0, 4.0])
+        assert m.distance(a, b) == pytest.approx(5.0)
+        assert m.distance(a, b) == pytest.approx(5.0)
+        assert inner.n_calls == 1

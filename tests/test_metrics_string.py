@@ -1,0 +1,122 @@
+"""Unit tests for string metrics: edit distance and variants."""
+
+import pytest
+
+from repro.exceptions import MetricError, ParameterError
+from repro.metrics import (
+    DamerauLevenshteinDistance,
+    EditDistance,
+    RelativeEditDistance,
+    WeightedEditDistance,
+    edit_distance,
+)
+from repro.metrics.string import damerau_levenshtein
+
+
+class TestEditDistanceFunction:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("", "", 0),
+            ("abc", "abc", 0),
+            ("", "abc", 3),
+            ("abc", "", 3),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("intention", "execution", 5),
+            ("a", "b", 1),
+            ("ab", "ba", 2),  # plain Levenshtein: transposition costs 2
+        ],
+    )
+    def test_known_values(self, a, b, expected):
+        assert edit_distance(a, b) == expected
+
+    def test_symmetry(self):
+        assert edit_distance("sunday", "saturday") == edit_distance("saturday", "sunday")
+
+    def test_upper_bound_short_circuits(self):
+        # True distance is 5 but we cap at 2.
+        assert edit_distance("intention", "execution", upper_bound=2) == 2
+
+    def test_upper_bound_no_effect_when_within(self):
+        assert edit_distance("kitten", "sitting", upper_bound=10) == 3
+
+    def test_upper_bound_on_length_difference(self):
+        assert edit_distance("", "abcdef", upper_bound=2) == 2
+
+    def test_weighted_costs(self):
+        # Deleting 3 chars at cost 0.5 each.
+        assert edit_distance("abcdef", "abc", delete_cost=0.5) == pytest.approx(1.5)
+
+    def test_substitution_cost(self):
+        assert edit_distance("abc", "axc", substitute_cost=0.4) == pytest.approx(0.4)
+
+
+class TestEditDistanceMetric:
+    def test_counts_calls(self):
+        m = EditDistance()
+        m.distance("abc", "abd")
+        assert m.n_calls == 1
+
+    def test_rejects_non_string(self):
+        m = EditDistance()
+        with pytest.raises(MetricError):
+            m.distance("abc", 42)
+
+    def test_upper_bound_param_validation(self):
+        with pytest.raises(ParameterError):
+            EditDistance(upper_bound=0)
+
+    def test_one_to_many(self):
+        m = EditDistance()
+        out = m.one_to_many("cat", ["cat", "cut", "dog"])
+        assert list(out) == [0, 1, 3]
+
+
+class TestWeightedEditDistance:
+    def test_symmetric(self):
+        m = WeightedEditDistance(indel_cost=0.5, substitute_cost=0.8)
+        assert m.distance("abc", "xbcd") == m.distance("xbcd", "abc")
+
+    def test_rejects_metric_violating_costs(self):
+        with pytest.raises(ParameterError):
+            WeightedEditDistance(indel_cost=0.3, substitute_cost=1.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ParameterError):
+            WeightedEditDistance(indel_cost=0)
+
+
+class TestDamerauLevenshtein:
+    def test_transposition_costs_one(self):
+        assert damerau_levenshtein("ab", "ba") == 1
+
+    def test_matches_levenshtein_without_transpositions(self):
+        assert damerau_levenshtein("kitten", "sitting") == 3
+
+    def test_known_osa(self):
+        assert damerau_levenshtein("ca", "abc") == 3  # OSA restriction
+
+    def test_metric_class(self):
+        m = DamerauLevenshteinDistance()
+        assert m.distance("word", "wrod") == 1
+
+
+class TestRelativeEditDistance:
+    def test_normalizes_by_longer(self):
+        m = RelativeEditDistance()
+        assert m.distance("abcd", "abce") == pytest.approx(0.25)
+
+    def test_identical(self):
+        assert RelativeEditDistance().distance("same", "same") == 0.0
+
+    def test_empty_both(self):
+        assert RelativeEditDistance().distance("", "") == 0.0
+
+    def test_completely_different(self):
+        assert RelativeEditDistance().distance("aaaa", "bbbb") == pytest.approx(1.0)
+
+    def test_in_unit_interval(self):
+        m = RelativeEditDistance()
+        for a, b in [("a", "bcdef"), ("xy", "yx"), ("", "abc")]:
+            assert 0.0 <= m.distance(a, b) <= 1.0

@@ -1,0 +1,112 @@
+"""Unit tests for Minkowski-family vector metrics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MetricError, ParameterError
+from repro.metrics import (
+    ChebyshevDistance,
+    EuclideanDistance,
+    ManhattanDistance,
+    MinkowskiDistance,
+)
+
+
+class TestEuclidean:
+    def test_known_value(self):
+        m = EuclideanDistance()
+        assert m.distance([0, 0], [3, 4]) == pytest.approx(5.0)
+
+    def test_zero_distance(self):
+        m = EuclideanDistance()
+        assert m.distance([1.5, -2.0], [1.5, -2.0]) == 0.0
+
+    def test_one_to_many_matches_scalar(self):
+        m = EuclideanDistance()
+        rng = np.random.default_rng(0)
+        obj = rng.normal(size=5)
+        others = list(rng.normal(size=(10, 5)))
+        batch = m.one_to_many(obj, others)
+        scalars = [m._distance(obj, o) for o in others]
+        np.testing.assert_allclose(batch, scalars)
+
+    def test_one_to_many_accepts_2d_array(self):
+        m = EuclideanDistance()
+        mat = np.arange(12, dtype=float).reshape(4, 3)
+        out = m.one_to_many(np.zeros(3), mat)
+        assert out.shape == (4,)
+
+    def test_dimension_mismatch_raises(self):
+        m = EuclideanDistance()
+        with pytest.raises(MetricError):
+            m.one_to_many(np.zeros(2), [np.zeros(3)])
+
+    def test_pairwise_matches_scalar(self):
+        m = EuclideanDistance()
+        rng = np.random.default_rng(1)
+        pts = list(rng.normal(size=(8, 3)))
+        dm = m.pairwise(pts)
+        for i in range(8):
+            for j in range(8):
+                assert dm[i, j] == pytest.approx(m._distance(pts[i], pts[j]), abs=1e-9)
+
+    def test_pairwise_no_negative_sqrt(self):
+        # Identical points can yield tiny negative d^2 from cancellation.
+        m = EuclideanDistance()
+        pts = [np.array([1e8, 1e8])] * 3
+        dm = m.pairwise(pts)
+        assert np.all(np.isfinite(dm))
+        assert np.all(dm >= 0)
+
+
+class TestManhattanChebyshev:
+    def test_manhattan_known(self):
+        assert ManhattanDistance().distance([0, 0], [3, 4]) == pytest.approx(7.0)
+
+    def test_chebyshev_known(self):
+        assert ChebyshevDistance().distance([0, 0], [3, 4]) == pytest.approx(4.0)
+
+    def test_chebyshev_batch_matches_scalar(self):
+        m = ChebyshevDistance()
+        rng = np.random.default_rng(2)
+        obj = rng.normal(size=4)
+        others = list(rng.normal(size=(6, 4)))
+        np.testing.assert_allclose(
+            m.one_to_many(obj, others), [m._distance(obj, o) for o in others]
+        )
+
+
+class TestMinkowski:
+    @pytest.mark.parametrize("p", [1.0, 1.5, 2.0, 3.0])
+    def test_batch_matches_scalar(self, p):
+        m = MinkowskiDistance(p)
+        rng = np.random.default_rng(3)
+        obj = rng.normal(size=4)
+        others = list(rng.normal(size=(7, 4)))
+        np.testing.assert_allclose(
+            m.one_to_many(obj, others),
+            [m._distance(obj, o) for o in others],
+            rtol=1e-9,
+        )
+
+    def test_rejects_p_below_one(self):
+        with pytest.raises(ParameterError):
+            MinkowskiDistance(0.5)
+
+    def test_rejects_nan_p(self):
+        with pytest.raises(ParameterError):
+            MinkowskiDistance(float("nan"))
+
+    def test_p_order_monotone(self):
+        # For the same pair, Lp distance is non-increasing in p.
+        a, b = np.zeros(4), np.ones(4)
+        d = [MinkowskiDistance(p).distance(a, b) for p in (1, 2, 4)]
+        assert d[0] >= d[1] >= d[2]
+
+    @pytest.mark.parametrize("p", [1.5, 3.0])
+    def test_pairwise_general_p(self, p):
+        m = MinkowskiDistance(p)
+        rng = np.random.default_rng(4)
+        pts = list(rng.normal(size=(5, 3)))
+        dm = m.pairwise(pts)
+        assert dm[1, 2] == pytest.approx(m._distance(pts[1], pts[2]))

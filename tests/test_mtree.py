@@ -1,0 +1,154 @@
+"""Unit and property tests for the M-tree metric index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import EmptyDatasetError, ParameterError
+from repro.metrics import EditDistance, EuclideanDistance
+from repro.mtree import MTree
+
+
+def brute_knn(metric, objects, query, k):
+    dists = sorted((metric._distance(query, o), i) for i, o in enumerate(objects))
+    return [(d, objects[i]) for d, i in dists[:k]]
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            MTree("not a metric")
+        with pytest.raises(ParameterError):
+            MTree(EuclideanDistance(), node_capacity=1)
+
+    def test_empty(self):
+        tree = MTree(EuclideanDistance())
+        assert len(tree) == 0
+        with pytest.raises(EmptyDatasetError):
+            tree.knn(np.zeros(2), 1)
+
+    def test_build_and_len(self, rng):
+        pts = list(rng.normal(size=(50, 2)))
+        tree = MTree(EuclideanDistance(), node_capacity=4).build(pts)
+        assert len(tree) == 50
+        tree.check_invariants()
+        assert tree.height >= 2
+
+    def test_items_round_trip(self, rng):
+        pts = [tuple(p) for p in rng.normal(size=(30, 2))]
+        tree = MTree(EuclideanDistance(), node_capacity=4).build(pts)
+        assert sorted(tree.items()) == sorted(pts)
+
+    def test_duplicate_objects(self):
+        tree = MTree(EditDistance(), node_capacity=3)
+        for _ in range(10):
+            tree.insert("same")
+        tree.check_invariants()
+        assert len(tree.range_query("same", 0)) == 10
+
+
+class TestRangeQuery:
+    def test_matches_brute_force(self, rng):
+        pts = list(rng.uniform(0, 10, size=(80, 2)))
+        tree = MTree(EuclideanDistance(), node_capacity=5).build(pts)
+        q = np.array([5.0, 5.0])
+        got = tree.range_query(q, 2.0)
+        expected = [p for p in pts if np.linalg.norm(p - q) <= 2.0]
+        assert len(got) == len(expected)
+        got_set = {tuple(g) for g in got}
+        assert got_set == {tuple(e) for e in expected}
+
+    def test_zero_radius_exact_match(self):
+        tree = MTree(EditDistance(), node_capacity=3).build(["a", "b", "ab"])
+        assert tree.range_query("ab", 0) == ["ab"]
+
+    def test_negative_radius_rejected(self):
+        tree = MTree(EuclideanDistance()).build([np.zeros(2)])
+        with pytest.raises(ParameterError):
+            tree.range_query(np.zeros(2), -1.0)
+
+    def test_radius_covers_all(self, rng):
+        pts = list(rng.normal(size=(40, 2)))
+        tree = MTree(EuclideanDistance(), node_capacity=4).build(pts)
+        assert len(tree.range_query(np.zeros(2), 1e6)) == 40
+
+
+class TestKnn:
+    def test_matches_brute_force(self, rng):
+        pts = list(rng.uniform(0, 10, size=(60, 3)))
+        metric = EuclideanDistance()
+        tree = MTree(metric, node_capacity=4).build(pts)
+        q = rng.uniform(0, 10, size=3)
+        got = tree.knn(q, 5)
+        expected = brute_knn(EuclideanDistance(), pts, q, 5)
+        np.testing.assert_allclose([d for d, _ in got], [d for d, _ in expected])
+
+    def test_knn_on_strings(self):
+        words = ["cat", "cart", "carts", "dog", "dig", "cog", "cot"]
+        tree = MTree(EditDistance(), node_capacity=3).build(words)
+        result = tree.knn("cat", 2)
+        assert result[0] == (0.0, "cat")
+        assert result[1][0] == 1.0
+
+    def test_k_larger_than_size(self, rng):
+        pts = list(rng.normal(size=(5, 2)))
+        tree = MTree(EuclideanDistance()).build(pts)
+        assert len(tree.knn(np.zeros(2), 10)) == 5
+
+    def test_nearest(self, rng):
+        pts = list(rng.normal(size=(20, 2)))
+        tree = MTree(EuclideanDistance(), node_capacity=4).build(pts)
+        d, obj = tree.nearest(pts[7])
+        assert d == pytest.approx(0.0, abs=1e-12)
+
+    def test_knn_prunes_versus_linear_scan(self, rng):
+        # On clustered data the index must beat the linear scan in calls.
+        centers = np.array([[0, 0], [100, 0], [0, 100], [100, 100]], dtype=float)
+        pts = []
+        for c in centers:
+            pts.extend(list(c + rng.normal(size=(100, 2))))
+        metric = EuclideanDistance()
+        tree = MTree(metric, node_capacity=8).build(pts)
+        build_calls = metric.n_calls
+        for _ in range(10):
+            q = centers[int(rng.integers(0, 4))] + rng.normal(size=2)
+            tree.knn(q, 3)
+        per_query = (metric.n_calls - build_calls) / 10
+        assert per_query < len(pts) * 0.6
+
+
+class TestProperties:
+    @given(
+        words=st.lists(st.text(alphabet="abc", max_size=6), min_size=1, max_size=40),
+        query=st.text(alphabet="abc", max_size=6),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_knn_always_matches_brute_force(self, words, query):
+        metric = EditDistance()
+        tree = MTree(metric, node_capacity=3).build(words)
+        tree.check_invariants()
+        got = tree.knn(query, 3)
+        expected = brute_knn(EditDistance(), words, query, 3)
+        assert [d for d, _ in got] == [d for d, _ in expected]
+
+    @given(
+        pts=st.lists(
+            st.tuples(
+                st.floats(min_value=-50, max_value=50, allow_nan=False),
+                st.floats(min_value=-50, max_value=50, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        radius=st.floats(min_value=0, max_value=30),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_range_query_exact(self, pts, radius):
+        pts = [np.asarray(p) for p in pts]
+        metric = EuclideanDistance()
+        tree = MTree(metric, node_capacity=4).build(pts)
+        q = np.zeros(2)
+        got = tree.range_query(q, radius)
+        expected = [p for p in pts if float(np.linalg.norm(p)) <= radius]
+        assert len(got) == len(expected)

@@ -1,0 +1,64 @@
+"""Unit tests for the ASCII plot renderers."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.plots import ascii_lines, ascii_scatter
+from repro.exceptions import ParameterError
+
+
+class TestScatter:
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            ascii_scatter({})
+
+    def test_renders_all_points_within_canvas(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0], [0.5, 0.5]])
+        out = ascii_scatter({"pts": pts}, width=20, height=10)
+        lines = out.splitlines()
+        body = [l for l in lines if l.startswith("|")]
+        assert len(body) == 10
+        assert sum(l.count("o") for l in body) >= 1
+
+    def test_title_and_legend(self):
+        out = ascii_scatter({"alpha": np.zeros((1, 2))}, title="My plot")
+        assert out.splitlines()[0] == "My plot"
+        assert "o alpha" in out
+
+    def test_two_series_get_distinct_markers(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[1.0, 1.0]])
+        out = ascii_scatter({"a": a, "b": b})
+        assert "o a" in out and "* b" in out
+        body = "\n".join(l for l in out.splitlines() if l.startswith("|"))
+        assert "o" in body and "*" in body
+
+    def test_degenerate_single_point(self):
+        out = ascii_scatter({"p": np.array([[3.0, 3.0]])})
+        assert "o" in out
+
+    def test_bounds_annotated(self):
+        pts = np.array([[0.0, -5.0], [10.0, 5.0]])
+        out = ascii_scatter({"p": pts})
+        assert "y_max = 5" in out
+        assert "y_min = -5" in out
+        assert "[0, 10]" in out
+
+
+class TestLines:
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            ascii_lines([1, 2], {})
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ParameterError):
+            ascii_lines([1, 2, 3], {"y": [1, 2]})
+
+    def test_renders(self):
+        out = ascii_lines([1, 2, 3], {"y": [10, 20, 30]}, title="t")
+        assert out.startswith("t")
+        assert "o y" in out
+
+    def test_two_series(self):
+        out = ascii_lines([1, 2], {"a": [1, 2], "b": [2, 1]})
+        assert "o a" in out and "* b" in out

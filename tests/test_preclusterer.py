@@ -1,0 +1,117 @@
+"""Unit tests for the BUBBLE / BUBBLE-FM drivers."""
+
+import numpy as np
+import pytest
+
+from repro import BUBBLE, BUBBLEFM
+from repro.exceptions import EmptyDatasetError, NotFittedError
+from repro.metrics import EditDistance, EuclideanDistance
+
+
+class TestFit:
+    def test_empty_dataset_raises(self, euclidean):
+        with pytest.raises(EmptyDatasetError):
+            BUBBLE(euclidean).fit([])
+
+    def test_not_fitted_access_raises(self, euclidean):
+        model = BUBBLE(euclidean)
+        with pytest.raises(NotFittedError):
+            _ = model.subclusters_
+
+    def test_accepts_generator_single_scan(self, euclidean):
+        def stream():
+            rng = np.random.default_rng(0)
+            for _ in range(100):
+                yield rng.normal(size=2)
+
+        model = BUBBLE(euclidean, max_nodes=10, seed=0).fit(stream())
+        assert model.tree_.n_objects == 100
+
+    def test_subcluster_population_conserved(self, euclidean, blob_data):
+        points, _, _ = blob_data
+        model = BUBBLE(euclidean, max_nodes=15, seed=0).fit(points)
+        assert sum(s.n for s in model.subclusters_) == len(points)
+
+    def test_recovers_separated_blobs(self, euclidean, blob_data):
+        points, labels, centers = blob_data
+        model = BUBBLE(euclidean, max_nodes=10, seed=0).fit(points)
+        # Every true center must have a discovered clustroid nearby.
+        clustroids = np.asarray(model.clustroids_)
+        for c in centers:
+            dmin = np.min(np.linalg.norm(clustroids - c, axis=1))
+            assert dmin < 1.5
+
+    def test_bubble_fm_recovers_separated_blobs(self, blob_data):
+        points, labels, centers = blob_data
+        model = BUBBLEFM(EuclideanDistance(), max_nodes=10, image_dim=2, seed=0).fit(points)
+        clustroids = np.asarray(model.clustroids_)
+        for c in centers:
+            assert np.min(np.linalg.norm(clustroids - c, axis=1)) < 1.5
+
+
+class TestAssign:
+    def test_labels_shape_and_range(self, euclidean, blob_data):
+        points, _, _ = blob_data
+        model = BUBBLE(euclidean, max_nodes=10, seed=0).fit(points)
+        labels = model.assign(points)
+        assert labels.shape == (len(points),)
+        assert labels.max() < model.n_subclusters_
+        assert labels.min() >= 0
+
+    def test_assign_puts_objects_on_nearest_clustroid(self, euclidean):
+        model = BUBBLE(euclidean, threshold=0.1, seed=0).fit(
+            [np.array([0.0, 0.0]), np.array([10.0, 0.0])]
+        )
+        labels = model.assign([np.array([1.0, 0.0]), np.array([9.0, 0.0])])
+        clustroids = np.asarray(model.clustroids_)
+        assert clustroids[labels[0]][0] == pytest.approx(0.0)
+        assert clustroids[labels[1]][0] == pytest.approx(10.0)
+
+
+class TestDiagnostics:
+    def test_ncd_counter_exposed(self, euclidean, blob_data):
+        points, _, _ = blob_data
+        model = BUBBLE(euclidean, max_nodes=10, seed=0).fit(points)
+        assert model.n_distance_calls_ == euclidean.n_calls > 0
+
+    def test_bubble_fm_fewer_calls_than_bubble_on_deep_tree(self):
+        rng = np.random.default_rng(7)
+        # Enough spread-out points to force a multi-level tree.
+        points = list(rng.uniform(0, 1000, size=(1500, 2)))
+        m1, m2 = EuclideanDistance(), EuclideanDistance()
+        BUBBLE(m1, branching_factor=8, sample_size=40, max_nodes=40, seed=0).fit(points)
+        BUBBLEFM(
+            m2, branching_factor=8, sample_size=40, max_nodes=40, image_dim=2, seed=0
+        ).fit(points)
+        assert m2.n_calls < m1.n_calls
+
+    def test_subcluster_representatives_included(self, euclidean, blob_data):
+        points, _, _ = blob_data
+        model = BUBBLE(euclidean, max_nodes=10, seed=0).fit(points)
+        for s in model.subclusters_:
+            assert 1 <= len(s.representatives) <= 10
+
+
+class TestStrings:
+    def test_bubble_on_strings(self):
+        strings = ["cat", "cart", "carts", "dog", "dogs", "dig"] * 5
+        model = BUBBLE(EditDistance(), threshold=1.0, seed=0).fit(strings)
+        assert model.n_subclusters_ >= 2
+        assert all(isinstance(s.clustroid, str) for s in model.subclusters_)
+
+    def test_bubble_fm_on_strings(self):
+        strings = ["cat", "cart", "carts", "dog", "dogs", "dig"] * 5
+        model = BUBBLEFM(EditDistance(), threshold=1.0, image_dim=2, seed=0).fit(strings)
+        assert model.n_subclusters_ >= 2
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self, blob_data):
+        points, _, _ = blob_data
+        runs = []
+        for _ in range(2):
+            model = BUBBLE(EuclideanDistance(), max_nodes=10, seed=42).fit(points)
+            runs.append(
+                sorted((s.n, tuple(np.round(np.asarray(s.clustroid), 6))) for s in model.subclusters_)
+            )
+        assert runs[0] == runs[1]

@@ -1,0 +1,129 @@
+"""Unit tests for the RED comparator and CLARANS."""
+
+import numpy as np
+import pytest
+
+from repro.clarans import CLARANS
+from repro.exceptions import EmptyDatasetError, NotFittedError, ParameterError
+from repro.metrics import EuclideanDistance, RelativeEditDistance
+from repro.red import REDClusterer
+
+
+class TestRED:
+    def test_groups_variants(self, tiny_strings):
+        strings, labels = tiny_strings
+        model = REDClusterer(threshold=0.35).fit(strings)
+        assert model.n_clusters_ <= 5
+        # Variants of the same canonical name share a cluster: a missing
+        # comma (RED ~0.06) and an initialed given name (RED ~0.33).
+        assert model.labels_[0] == model.labels_[2]
+        assert model.labels_[0] == model.labels_[1]
+        assert model.labels_[3] == model.labels_[4]
+        assert model.labels_[3] == model.labels_[5]
+
+    def test_distinct_names_apart(self, tiny_strings):
+        strings, _ = tiny_strings
+        model = REDClusterer(threshold=0.3).fit(strings)
+        assert model.labels_[0] != model.labels_[3]
+        assert model.labels_[0] != model.labels_[6]
+
+    def test_threshold_zero_rejected(self):
+        with pytest.raises(ParameterError):
+            REDClusterer(threshold=0.0)
+
+    def test_tight_threshold_many_clusters(self, tiny_strings):
+        strings, _ = tiny_strings
+        loose = REDClusterer(threshold=0.5).fit(strings).n_clusters_
+        tight = REDClusterer(threshold=0.05).fit(strings).n_clusters_
+        assert tight >= loose
+
+    def test_exact_cache_avoids_calls(self):
+        strings = ["alpha", "alpha", "alpha", "beta"]
+        cached = REDClusterer(threshold=0.2, cache_exact=True)
+        cached.fit(strings)
+        uncached = REDClusterer(threshold=0.2, cache_exact=False)
+        uncached.fit(strings)
+        assert cached.metric.n_calls < uncached.metric.n_calls
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptyDatasetError):
+            REDClusterer().fit([])
+
+    def test_not_fitted(self):
+        model = REDClusterer()
+        with pytest.raises(NotFittedError):
+            _ = model.n_clusters_
+        with pytest.raises(NotFittedError):
+            model.assign(["x"])
+
+    def test_assign(self, tiny_strings):
+        strings, _ = tiny_strings
+        model = REDClusterer(threshold=0.3).fit(strings)
+        out = model.assign(["powell, allison"])
+        assert out[0] == model.labels_[0]
+
+    def test_labels_dense(self, tiny_strings):
+        strings, _ = tiny_strings
+        model = REDClusterer(threshold=0.3).fit(strings)
+        assert set(model.labels_.tolist()) == set(range(model.n_clusters_))
+
+
+class TestCLARANS:
+    def test_recovers_separated_blobs(self, blob_data):
+        points, labels, centers = blob_data
+        metric = EuclideanDistance()
+        model = CLARANS(5, metric, num_local=2, max_neighbors=100, seed=0).fit(points)
+        found = np.asarray(model.medoids_)
+        for c in centers:
+            assert np.min(np.linalg.norm(found - c, axis=1)) < 1.0
+
+    def test_cost_is_sum_of_nearest(self, blob_data):
+        points, _, _ = blob_data
+        metric = EuclideanDistance()
+        model = CLARANS(3, metric, num_local=1, max_neighbors=30, seed=1).fit(points)
+        manual = 0.0
+        for p in points:
+            manual += min(float(np.linalg.norm(np.asarray(p) - np.asarray(m))) for m in model.medoids_)
+        assert model.cost_ == pytest.approx(manual, rel=1e-9)
+
+    def test_labels_consistent_with_medoids(self, blob_data):
+        points, _, _ = blob_data
+        model = CLARANS(4, EuclideanDistance(), num_local=1, max_neighbors=30, seed=2).fit(points)
+        assert model.labels_.shape == (len(points),)
+        assert model.labels_.max() < 4
+
+    def test_medoids_are_members(self, blob_data):
+        points, _, _ = blob_data
+        model = CLARANS(3, EuclideanDistance(), num_local=1, max_neighbors=20, seed=3).fit(points)
+        pts_set = {tuple(np.asarray(p)) for p in points}
+        for m in model.medoids_:
+            assert tuple(np.asarray(m)) in pts_set
+
+    def test_k_equals_n(self):
+        pts = [np.array([float(i), 0.0]) for i in range(4)]
+        model = CLARANS(4, EuclideanDistance(), max_neighbors=5, seed=0).fit(pts)
+        assert model.cost_ == pytest.approx(0.0)
+
+    def test_validation(self):
+        m = EuclideanDistance()
+        with pytest.raises(ParameterError):
+            CLARANS(0, m)
+        with pytest.raises(ParameterError):
+            CLARANS(2, m, num_local=0)
+        with pytest.raises(ParameterError):
+            CLARANS(2, m, max_neighbors=0)
+        with pytest.raises(EmptyDatasetError):
+            CLARANS(1, m).fit([])
+        with pytest.raises(ParameterError):
+            CLARANS(5, m).fit([np.zeros(2)])
+
+    def test_not_fitted(self):
+        model = CLARANS(2, EuclideanDistance())
+        with pytest.raises(NotFittedError):
+            _ = model.n_clusters_
+
+    def test_single_cluster(self, blob_data):
+        points, _, _ = blob_data
+        model = CLARANS(1, EuclideanDistance(), max_neighbors=10, seed=4).fit(points)
+        assert model.n_clusters_ == 1
+        assert np.all(model.labels_ == 0)

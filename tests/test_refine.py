@@ -1,0 +1,96 @@
+"""Unit tests for the refinement phase (BIRCH Phase 4 analogue)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.metrics import EditDistance, EuclideanDistance
+from repro.pipelines import refine_labels
+
+
+class TestValidation:
+    def test_bad_iterations(self, euclidean):
+        with pytest.raises(ParameterError):
+            refine_labels([np.zeros(2)], euclidean, [np.zeros(2)], iterations=0)
+
+    def test_bad_center_method(self, euclidean):
+        with pytest.raises(ParameterError):
+            refine_labels([np.zeros(2)], euclidean, [np.zeros(2)], center_method="mode")
+
+    def test_no_centers(self, euclidean):
+        with pytest.raises(ParameterError):
+            refine_labels([np.zeros(2)], euclidean, [])
+
+
+class TestVectorRefinement:
+    def test_recovers_from_perturbed_centers(self, euclidean, blob_data):
+        points, labels_true, centers = blob_data
+        rng = np.random.default_rng(0)
+        bad_centers = [c + rng.normal(scale=1.5, size=2) for c in centers]
+        labels, refined = refine_labels(
+            points, euclidean, bad_centers, iterations=3, seed=0
+        )
+        refined = np.vstack(refined)
+        for c in centers:
+            assert np.min(np.linalg.norm(refined - c, axis=1)) < 0.3
+
+    def test_monotone_improvement(self, euclidean, blob_data):
+        """Refinement never worsens the within-cluster cost."""
+        points, _, centers = blob_data
+        rng = np.random.default_rng(1)
+        bad = [c + rng.normal(scale=1.0, size=2) for c in centers]
+
+        def cost(centers_, labels_):
+            return sum(
+                float(np.linalg.norm(np.asarray(points[i]) - centers_[l]) ** 2)
+                for i, l in enumerate(labels_)
+            )
+
+        labels0 = None
+        prev = None
+        for rounds in (1, 3):
+            labels, cc = refine_labels(points, euclidean, bad, iterations=rounds, seed=1)
+            c = cost([np.asarray(x) for x in cc], labels)
+            if prev is not None:
+                assert c <= prev * 1.001
+            prev = c
+
+    def test_empty_cluster_keeps_center(self, euclidean):
+        points = [np.zeros(2)] * 10
+        centers = [np.zeros(2), np.array([100.0, 100.0])]
+        labels, refined = refine_labels(points, euclidean, centers, iterations=1)
+        np.testing.assert_allclose(refined[1], [100.0, 100.0])
+        assert np.all(labels == 0)
+
+    def test_labels_passed_in(self, euclidean, blob_data):
+        points, _, centers = blob_data
+        initial = np.zeros(len(points), dtype=np.intp)
+        labels, _ = refine_labels(
+            points, euclidean, list(centers), labels=initial, iterations=2, seed=0
+        )
+        assert len(set(labels.tolist())) == len(centers)
+
+
+class TestMedoidRefinement:
+    def test_string_medoids_are_members(self):
+        strings = (["clustering"] * 5 + ["clusterin g", "clusterng"]
+                   + ["database"] * 5 + ["databse", "dtabase"])
+        metric = EditDistance()
+        labels, centers = refine_labels(
+            strings, metric, ["xlustering", "databaze"],
+            iterations=2, seed=0,
+        )
+        assert set(centers) <= set(strings)
+        assert centers[0] == "clustering"
+        assert centers[1] == "database"
+
+    def test_medoid_sampling_bounded(self, euclidean, rng):
+        points = list(rng.normal(size=(500, 2)))
+        before = euclidean.n_calls
+        refine_labels(
+            points, euclidean, [np.zeros(2)],
+            iterations=1, medoid_sample=16, center_method="medoid", seed=0,
+        )
+        # One labeling scan (500 calls) + initial assignment (500) +
+        # medoid recomputation bounded by 16 * 16.
+        assert euclidean.n_calls - before <= 500 * 2 + 16 * 16 + 16

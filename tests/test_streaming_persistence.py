@@ -1,0 +1,113 @@
+"""Unit tests for partial_fit streaming, model summary, and persistence."""
+
+import numpy as np
+import pytest
+
+from repro import BUBBLE
+from repro.core.features import SubCluster
+from repro.exceptions import NotFittedError, ParameterError
+from repro.metrics import EditDistance, EuclideanDistance
+from repro.persistence import load_subclusters, save_subclusters
+
+
+class TestPartialFit:
+    def test_batches_equal_single_scan(self, blob_data):
+        points, _, _ = blob_data
+        a = BUBBLE(EuclideanDistance(), max_nodes=10, seed=7).fit(points)
+        b = BUBBLE(EuclideanDistance(), max_nodes=10, seed=7)
+        b.partial_fit(points[:100])
+        b.partial_fit(points[100:])
+        b.finalize()
+        sig_a = sorted((s.n, round(s.radius, 9)) for s in a.subclusters_)
+        sig_b = sorted((s.n, round(s.radius, 9)) for s in b.subclusters_)
+        assert sig_a == sig_b
+
+    def test_counts_accumulate(self, euclidean, rng):
+        model = BUBBLE(euclidean, seed=0)
+        model.partial_fit(list(rng.normal(size=(50, 2))))
+        model.partial_fit(list(rng.normal(size=(30, 2))))
+        assert model.tree_.n_objects == 80
+
+    def test_finalize_requires_tree(self, euclidean):
+        with pytest.raises(NotFittedError):
+            BUBBLE(euclidean).finalize()
+
+    def test_refit_resets(self, euclidean, rng):
+        model = BUBBLE(euclidean, seed=0)
+        model.fit(list(rng.normal(size=(40, 2))))
+        model.fit(list(rng.normal(size=(25, 2))))
+        assert model.tree_.n_objects == 25
+
+
+class TestSummary:
+    def test_keys_and_values(self, euclidean, blob_data):
+        points, _, _ = blob_data
+        model = BUBBLE(euclidean, max_nodes=10, seed=0).fit(points)
+        s = model.summary()
+        assert s["algorithm"] == "BUBBLE"
+        assert s["n_objects"] == len(points)
+        assert s["n_subclusters"] == model.n_subclusters_
+        assert s["n_distance_calls"] > 0
+        assert s["n_nodes"] <= 10
+
+    def test_requires_fit(self, euclidean):
+        with pytest.raises(NotFittedError):
+            BUBBLE(euclidean).summary()
+
+
+class TestPersistence:
+    def test_vector_round_trip(self, tmp_path, euclidean, blob_data):
+        points, _, _ = blob_data
+        model = BUBBLE(euclidean, max_nodes=10, seed=0).fit(points)
+        path = tmp_path / "subclusters.json"
+        save_subclusters(path, model.subclusters_, metadata={"metric": "euclidean"})
+        loaded, meta = load_subclusters(path)
+        assert meta == {"metric": "euclidean"}
+        assert len(loaded) == len(model.subclusters_)
+        for orig, back in zip(model.subclusters_, loaded):
+            assert back.n == orig.n
+            assert back.radius == pytest.approx(orig.radius)
+            np.testing.assert_allclose(back.clustroid, np.asarray(orig.clustroid))
+            assert len(back.representatives) == len(orig.representatives)
+
+    def test_string_round_trip(self, tmp_path):
+        model = BUBBLE(EditDistance(), threshold=1.0, seed=0).fit(
+            ["data", "date", "data", "web", "wib"]
+        )
+        path = tmp_path / "strings.json"
+        save_subclusters(path, model.subclusters_)
+        loaded, _ = load_subclusters(path)
+        assert {s.clustroid for s in loaded} == {
+            s.clustroid for s in model.subclusters_
+        }
+        assert all(isinstance(s.clustroid, str) for s in loaded)
+
+    def test_loaded_centers_usable_for_labeling(self, tmp_path, blob_data):
+        from repro.pipelines import nearest_assignment
+
+        points, _, _ = blob_data
+        metric = EuclideanDistance()
+        model = BUBBLE(metric, max_nodes=10, seed=0).fit(points)
+        path = tmp_path / "subclusters.json"
+        save_subclusters(path, model.subclusters_)
+        loaded, _ = load_subclusters(path)
+        labels = nearest_assignment(metric, points[:20], [s.clustroid for s in loaded])
+        assert labels.shape == (20,)
+
+    def test_unknown_object_type_rejected(self, tmp_path):
+        bad = [SubCluster(clustroid={1, 2}, n=1, radius=0.0, representatives=[{1, 2}])]
+        with pytest.raises(ParameterError):
+            save_subclusters(tmp_path / "bad.json", bad)
+
+    def test_custom_codec(self, tmp_path):
+        subs = [SubCluster(clustroid=(1, 2), n=3, radius=0.5, representatives=[(1, 2)])]
+        path = tmp_path / "tuples.json"
+        save_subclusters(path, subs, encode=lambda t: list(t))
+        loaded, _ = load_subclusters(path, decode=lambda v: tuple(v))
+        assert loaded[0].clustroid == (1, 2)
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text('{"format_version": 99, "subclusters": []}')
+        with pytest.raises(ParameterError):
+            load_subclusters(path)

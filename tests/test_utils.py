@@ -1,0 +1,96 @@
+"""Unit tests for shared utilities."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.utils import (
+    check_integer,
+    check_positive,
+    check_probability,
+    ensure_rng,
+    reservoir_sample,
+    sample_without_replacement,
+)
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_reproducible(self):
+        a = ensure_rng(7).integers(0, 1000, size=5)
+        b = ensure_rng(7).integers(0, 1000, size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert ensure_rng(g) is g
+
+
+class TestSampling:
+    def test_sample_without_replacement_distinct(self):
+        items = list(range(100))
+        out = sample_without_replacement(items, 10, seed=0)
+        assert len(out) == 10
+        assert len(set(out)) == 10
+
+    def test_sample_more_than_available_returns_all(self):
+        out = sample_without_replacement([1, 2, 3], 10, seed=0)
+        assert sorted(out) == [1, 2, 3]
+
+    def test_sample_arbitrary_objects(self):
+        items = ["a", ("b",), 3.0]
+        out = sample_without_replacement(items, 2, seed=0)
+        assert len(out) == 2
+        assert all(o in items for o in out)
+
+    def test_reservoir_size(self):
+        out = reservoir_sample(iter(range(1000)), 10, seed=0)
+        assert len(out) == 10
+        assert all(0 <= x < 1000 for x in out)
+
+    def test_reservoir_short_stream(self):
+        assert sorted(reservoir_sample(iter([1, 2]), 5, seed=0)) == [1, 2]
+
+    def test_reservoir_roughly_uniform(self):
+        hits = np.zeros(20)
+        for seed in range(400):
+            for x in reservoir_sample(iter(range(20)), 5, seed=seed):
+                hits[x] += 1
+        # Each item expected 100 times; allow generous slack.
+        assert hits.min() > 50
+        assert hits.max() < 160
+
+
+class TestValidation:
+    def test_check_integer(self):
+        assert check_integer(5, "x") == 5
+        assert check_integer(np.int64(5), "x") == 5
+
+    def test_check_integer_rejects(self):
+        for bad in (1.5, "3", True):
+            with pytest.raises(ParameterError):
+                check_integer(bad, "x")
+        with pytest.raises(ParameterError):
+            check_integer(2, "x", minimum=3)
+
+    def test_check_positive(self):
+        assert check_positive(0.5, "x") == 0.5
+        assert check_positive(0, "x", allow_zero=True) == 0.0
+
+    def test_check_positive_rejects(self):
+        with pytest.raises(ParameterError):
+            check_positive(0, "x")
+        with pytest.raises(ParameterError):
+            check_positive(-1, "x", allow_zero=True)
+        with pytest.raises(ParameterError):
+            check_positive(True, "x")
+
+    def test_check_probability(self):
+        assert check_probability(0.0, "x") == 0.0
+        assert check_probability(1.0, "x") == 1.0
+        with pytest.raises(ParameterError):
+            check_probability(1.1, "x")
+        with pytest.raises(ParameterError):
+            check_probability(-0.1, "x")
