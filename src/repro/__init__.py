@@ -20,6 +20,19 @@ True
 """
 
 from repro.birch import BIRCH
+from repro.exceptions import (
+    DeadlineExceededError,
+    MetricBudgetExceededError,
+    QuarantineOverflowError,
+    ReproError,
+)
+from repro.robustness import (
+    FaultInjector,
+    FlakyMetric,
+    GuardedMetric,
+    IngestReport,
+    Quarantine,
+)
 from repro.clarans import CLARANS
 from repro.cure import CURE
 from repro.dbscan import MetricDBSCAN
@@ -59,5 +72,14 @@ __all__ = [
     "cluster_dataset",
     "map_first_cluster",
     "nearest_assignment",
+    "GuardedMetric",
+    "FlakyMetric",
+    "FaultInjector",
+    "IngestReport",
+    "Quarantine",
+    "ReproError",
+    "MetricBudgetExceededError",
+    "DeadlineExceededError",
+    "QuarantineOverflowError",
     "__version__",
 ]

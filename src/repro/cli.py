@@ -81,6 +81,39 @@ def _build_parser() -> argparse.ArgumentParser:
     clu.add_argument("--image-dim", type=int, default=3)
     clu.add_argument("--output", help="write one label per input line here")
     clu.add_argument("--seed", type=int, default=0)
+    fault = clu.add_argument_group("fault tolerance")
+    fault.add_argument(
+        "--on-error", choices=["raise", "quarantine"], default="raise",
+        help="quarantine objects whose insertion fails instead of aborting",
+    )
+    fault.add_argument(
+        "--quarantine-limit", type=int, default=None, metavar="N",
+        help="abort once more than N objects are quarantined",
+    )
+    fault.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retry transient metric failures up to N times (guarded metric)",
+    )
+    fault.add_argument(
+        "--max-distance-calls", type=int, default=None, metavar="N",
+        help="hard NCD budget; the scan stops cleanly when exhausted",
+    )
+    fault.add_argument(
+        "--deadline-seconds", type=float, default=None, metavar="S",
+        help="wall-clock budget for all distance calls",
+    )
+    fault.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="write a resumable tree snapshot here during the scan",
+    )
+    fault.add_argument(
+        "--checkpoint-every", type=int, default=1000, metavar="N",
+        help="snapshot period in objects (default 1000)",
+    )
+    fault.add_argument(
+        "--resume-from", default=None, metavar="PATH",
+        help="resume an interrupted scan from this checkpoint",
+    )
 
     auth = sub.add_parser("authority", help="build an authority file from records")
     auth.add_argument("input", help="one record per line")
@@ -144,22 +177,74 @@ def _cmd_cluster(args) -> int:
         print("error: input file holds no objects", file=sys.stderr)
         return 2
 
-    n_clusters = args.n_clusters if args.n_clusters is not None else 0
-    result = cluster_dataset(
-        objects,
-        metric,
-        n_clusters=n_clusters if n_clusters > 0 else max(1, len(objects)),
-        algorithm=args.algorithm,
-        max_nodes=args.max_nodes,
-        image_dim=args.image_dim,
-        assign=True,
-        seed=args.seed,
+    if args.retries or args.max_distance_calls or args.deadline_seconds:
+        from repro.robustness import GuardedMetric
+
+        metric = GuardedMetric(
+            metric,
+            on_fault="retry" if args.retries else "raise",
+            max_retries=args.retries,
+            max_calls=args.max_distance_calls,
+            deadline_seconds=args.deadline_seconds,
+            seed=args.seed,
+        )
+
+    from repro.exceptions import (
+        CheckpointError,
+        DeadlineExceededError,
+        MetricBudgetExceededError,
+        ParameterError,
+        QuarantineOverflowError,
     )
+
+    n_clusters = args.n_clusters if args.n_clusters is not None else 0
+    try:
+        result = cluster_dataset(
+            objects,
+            metric,
+            n_clusters=n_clusters if n_clusters > 0 else max(1, len(objects)),
+            algorithm=args.algorithm,
+            max_nodes=args.max_nodes,
+            image_dim=args.image_dim,
+            assign=True,
+            seed=args.seed,
+            on_error=args.on_error,
+            max_quarantine=args.quarantine_limit,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            resume_from=args.resume_from,
+        )
+    except (MetricBudgetExceededError, DeadlineExceededError, QuarantineOverflowError) as exc:
+        print(f"error: scan aborted: {exc}", file=sys.stderr)
+        if args.checkpoint:
+            print(f"resume with --resume-from {args.checkpoint}", file=sys.stderr)
+        return 3
+    except (CheckpointError, ParameterError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: cannot read checkpoint: {exc}", file=sys.stderr)
+        return 2
     labels = result.labels
     print(f"{len(objects)} objects -> {len(result.subclusters)} sub-clusters"
           f" -> {result.n_clusters} clusters")
     print(f"distance calls: {result.n_distance_calls}, "
           f"time: {result.total_seconds:.2f}s")
+    report = result.ingest_report
+    if report is not None and (
+        report.n_quarantined
+        or report.n_metric_faults
+        or report.n_checkpoints
+        or report.resumed_at is not None
+    ):
+        print("--- ingest report ---")
+        print(report.format())
+        quarantine = result.model.quarantine_
+        if quarantine:
+            counts = ", ".join(
+                f"{name}: {n}" for name, n in sorted(quarantine.counts_by_error().items())
+            )
+            print(f"quarantine by error: {counts}")
     if args.output:
         with open(args.output, "w", encoding="ascii") as f:
             for lab in labels:

@@ -16,6 +16,8 @@ global phase exactly as the evaluation methodology does.
 
 from __future__ import annotations
 
+import itertools
+import time
 from collections.abc import Iterable
 
 import numpy as np
@@ -24,11 +26,34 @@ from repro.core.bubble import BubblePolicy
 from repro.core.bubble_fm import BubbleFMPolicy
 from repro.core.cftree import CFTree
 from repro.core.features import SubCluster
-from repro.exceptions import EmptyDatasetError, NotFittedError, ParameterError
+from repro.exceptions import (
+    CheckpointError,
+    DeadlineExceededError,
+    EmptyDatasetError,
+    MetricBudgetExceededError,
+    NotFittedError,
+    ParameterError,
+    QuarantineOverflowError,
+    TreeInvariantError,
+)
 from repro.metrics.base import DistanceFunction
+from repro.robustness.report import IngestReport
+from repro.robustness.quarantine import Quarantine
 from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_integer
 
 __all__ = ["PreClusterer", "BUBBLE", "BUBBLEFM"]
+
+#: Failures that must abort the scan even under ``on_error="quarantine"``:
+#: budget/deadline exhaustion is a global stop condition, quarantine
+#: overflow is the circuit breaker itself, and an invariant violation means
+#: the tree is no longer trustworthy.
+_NON_QUARANTINABLE = (
+    MetricBudgetExceededError,
+    DeadlineExceededError,
+    QuarantineOverflowError,
+    TreeInvariantError,
+)
 
 
 class PreClusterer:
@@ -79,24 +104,91 @@ class PreClusterer:
         self.outlier_fraction = outlier_fraction
         self._rng = ensure_rng(seed)
         self.tree_: CFTree | None = None
+        self.quarantine_: Quarantine = Quarantine()
+        self.ingest_report_: IngestReport = IngestReport()
+        self._cursor = 0
 
     # -- subclasses supply the policy ---------------------------------
     def _make_policy(self) -> BubblePolicy:
         raise NotImplementedError
 
     # ------------------------------------------------------------------
-    def fit(self, objects: Iterable) -> "PreClusterer":
-        """Cluster ``objects`` in a single sequential scan."""
-        self.tree_ = None
-        self.partial_fit(objects)
-        if self.tree_.n_objects == 0:
+    def fit(
+        self,
+        objects: Iterable,
+        *,
+        on_error: str = "raise",
+        max_quarantine: int | None = None,
+        checkpoint_path=None,
+        checkpoint_every: int = 1000,
+        resume_from=None,
+    ) -> "PreClusterer":
+        """Cluster ``objects`` in a single sequential scan.
+
+        Parameters
+        ----------
+        on_error:
+            ``"raise"`` (default) propagates any insertion failure;
+            ``"quarantine"`` parks the failing object in
+            :attr:`quarantine_` and continues the scan (see
+            :meth:`partial_fit` for the exact rules).
+        max_quarantine:
+            Quarantine capacity; overflowing it raises
+            :class:`~repro.exceptions.QuarantineOverflowError`.
+        checkpoint_path:
+            When set, a full tree snapshot is written here (atomically)
+            every ``checkpoint_every`` objects via
+            :func:`repro.persistence.save_checkpoint`.
+        checkpoint_every:
+            Snapshot period, in objects consumed from the stream.
+        resume_from:
+            Path of a checkpoint written by a previous, interrupted scan
+            over the *same* object sequence. The tree, RNG state,
+            quarantine buffer, and report are restored, and the first
+            ``cursor`` objects of ``objects`` are skipped, so the resumed
+            run reproduces the uninterrupted one exactly (same seed, same
+            metric).
+        """
+        if resume_from is not None:
+            self._restore_checkpoint(resume_from)
+            objects = itertools.islice(iter(objects), self._cursor, None)
+        else:
             self.tree_ = None
+            self._cursor = 0
+            self.quarantine_ = Quarantine(max_size=max_quarantine)
+            self.ingest_report_ = IngestReport()
+        self.partial_fit(
+            objects,
+            on_error=on_error,
+            max_quarantine=max_quarantine,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+        )
+        if self.tree_.n_objects == 0:
+            n_parked = len(self.quarantine_)
+            self.tree_ = None
+            if n_parked:
+                raise EmptyDatasetError(
+                    f"every one of the {n_parked} scanned objects was "
+                    "quarantined; nothing to cluster"
+                )
             raise EmptyDatasetError("fit requires at least one object")
         if self.outlier_fraction is not None:
+            finish = time.perf_counter()
             self.tree_.reabsorb_outliers()
+            self.ingest_report_.elapsed_seconds += time.perf_counter() - finish
+        self._sync_report()
         return self
 
-    def partial_fit(self, objects: Iterable) -> "PreClusterer":
+    def partial_fit(
+        self,
+        objects: Iterable,
+        *,
+        on_error: str = "raise",
+        max_quarantine: int | None = None,
+        checkpoint_path=None,
+        checkpoint_every: int = 1000,
+    ) -> "PreClusterer":
         """Absorb one more batch of objects into the evolving clustering.
 
         BIRCH*'s incremental nature makes streaming ingestion free: batches
@@ -104,7 +196,24 @@ class PreClusterer:
         scan. Unlike :meth:`fit`, an existing tree is extended rather than
         replaced, and parked outliers are *not* re-absorbed (call
         :meth:`finalize` when the stream ends).
+
+        With ``on_error="quarantine"``, an object whose insertion raises is
+        parked in :attr:`quarantine_` and the scan continues — but only
+        when the failure provably left the tree untouched (the object was
+        not counted and a structural invariant check passes). Failures
+        mid-rebuild or mid-split, budget/deadline exhaustion, and
+        quarantine overflow still propagate; recover from those with
+        checkpoints.
         """
+        if on_error not in ("raise", "quarantine"):
+            raise ParameterError(
+                f'on_error must be "raise" or "quarantine", got {on_error!r}'
+            )
+        if checkpoint_path is not None:
+            checkpoint_every = check_integer(
+                checkpoint_every, "checkpoint_every", minimum=1
+            )
+        start = time.perf_counter()
         if self.tree_ is None:
             policy = self._make_policy()
             self.tree_ = CFTree(
@@ -115,9 +224,109 @@ class PreClusterer:
                 outlier_fraction=self.outlier_fraction,
                 seed=self._rng,
             )
-        for obj in objects:
-            self.tree_.insert(obj)
+        if max_quarantine is not None and self.quarantine_.max_size is None:
+            self.quarantine_.max_size = max_quarantine
+        tree = self.tree_
+        report = self.ingest_report_
+        try:
+            for obj in objects:
+                index = self._cursor
+                self._cursor += 1
+                report.n_seen += 1
+                if on_error == "raise":
+                    tree.insert(obj)
+                    report.n_inserted += 1
+                else:
+                    self._insert_or_quarantine(obj, index)
+                if checkpoint_path is not None and self._cursor % checkpoint_every == 0:
+                    self._write_checkpoint(checkpoint_path)
+        finally:
+            report.elapsed_seconds += time.perf_counter() - start
+            self._sync_report()
         return self
+
+    # ------------------------------------------------------------------
+    # Fault-tolerant insertion
+    # ------------------------------------------------------------------
+    def _insert_or_quarantine(self, obj, index: int) -> None:
+        tree = self.tree_
+        n_before = tree.n_objects
+        try:
+            tree.insert(obj)
+            self.ingest_report_.n_inserted += 1
+        except _NON_QUARANTINABLE:
+            raise
+        except Exception as exc:
+            if tree.n_objects != n_before or not self._tree_is_sound():
+                # The object was (partially) applied, or the failure left
+                # structural damage: continuing would corrupt results.
+                raise
+            self.quarantine_.add(index, obj, exc)
+            self.ingest_report_.n_quarantined += 1
+
+    def _tree_is_sound(self) -> bool:
+        """Metric-free structural check after a failed insert."""
+        try:
+            self.tree_.check_invariants()
+        except TreeInvariantError:
+            return False
+        return True
+
+    def _sync_report(self) -> None:
+        """Pull metric-side and tree-side counters into the report."""
+        report = self.ingest_report_
+        report.n_distance_calls = self.metric.n_calls
+        if self.tree_ is not None:
+            report.n_rebuilds = self.tree_.n_rebuilds
+        metric = self.metric
+        report.n_retries = getattr(metric, "n_retries", 0)
+        report.n_substitutions = getattr(metric, "n_substitutions", 0)
+        report.n_metric_faults = getattr(metric, "n_faults", 0)
+
+    # ------------------------------------------------------------------
+    # Checkpoint / resume
+    # ------------------------------------------------------------------
+    def _write_checkpoint(self, path) -> None:
+        from repro.persistence import save_checkpoint
+
+        self._sync_report()
+        save_checkpoint(
+            path,
+            self.tree_,
+            cursor=self._cursor,
+            state={
+                "quarantine": self.quarantine_.get_state(),
+                "report": self.ingest_report_.to_dict(),
+            },
+            metadata={
+                "algorithm": type(self).__name__,
+                "branching_factor": self.branching_factor,
+                "max_nodes": self.max_nodes,
+            },
+        )
+        self.ingest_report_.n_checkpoints += 1
+
+    def _restore_checkpoint(self, path) -> None:
+        from repro.persistence import load_checkpoint
+
+        ck = load_checkpoint(path, metric=self.metric)
+        algorithm = ck.metadata.get("algorithm")
+        if algorithm is not None and algorithm != type(self).__name__:
+            raise CheckpointError(
+                f"checkpoint was written by {algorithm}, "
+                f"cannot resume with {type(self).__name__}"
+            )
+        if not isinstance(ck.tree, CFTree):
+            raise CheckpointError("checkpoint does not hold a CF*-tree")
+        self.tree_ = ck.tree
+        # The tree, its policy, and this model must keep sharing one
+        # generator — pickle preserved the tree/policy identity, so adopt it.
+        self._rng = ck.tree._rng
+        self._cursor = ck.cursor
+        self.quarantine_ = Quarantine.from_state(ck.state.get("quarantine"))
+        self.ingest_report_ = IngestReport.from_dict(ck.state.get("report"))
+        self.ingest_report_.resumed_at = ck.cursor
+        self.ingest_report_.n_checkpoints = 0
 
     def finalize(self) -> "PreClusterer":
         """End a :meth:`partial_fit` stream: re-absorb parked outliers."""
@@ -138,6 +347,7 @@ class PreClusterer:
             "threshold": tree.threshold,
             "n_rebuilds": tree.n_rebuilds,
             "n_outliers_parked": tree.n_outliers_parked,
+            "n_quarantined": len(self.quarantine_),
             "n_distance_calls": self.metric.n_calls,
         }
 

@@ -27,6 +27,52 @@ class MetricError(ReproError, ValueError):
     """A distance function received objects it cannot measure."""
 
 
+class MetricValueError(MetricError):
+    """A distance function returned a value that violates the metric contract.
+
+    Raised by :class:`repro.robustness.GuardedMetric` when the wrapped
+    function produces a NaN, an infinity, a negative distance, or (when
+    symmetry spot-checks are enabled) ``d(a, b)`` and ``d(b, a)`` that
+    disagree beyond tolerance.
+    """
+
+
+class MetricBudgetExceededError(ReproError, RuntimeError):
+    """The distance-call (NCD) budget of a guarded metric was exhausted.
+
+    Raised *before* the call that would overrun ``max_calls``, so the
+    recorded NCD never exceeds the budget. Catch this to stop a scan
+    gracefully — state built so far (tree, checkpoints) remains valid.
+    """
+
+
+class DeadlineExceededError(ReproError, RuntimeError):
+    """The wall-clock deadline of a guarded metric passed.
+
+    Raised on the first distance call after ``deadline_seconds`` elapses;
+    like :class:`MetricBudgetExceededError` it aborts the scan without
+    corrupting already-built state.
+    """
+
+
+class QuarantineOverflowError(ReproError, RuntimeError):
+    """Too many objects were quarantined during a fault-tolerant scan.
+
+    Raised when a quarantine buffer with a ``max_size`` would overflow —
+    the circuit breaker distinguishing "a few bad records" (tolerable)
+    from "the metric or the data feed is systematically broken" (abort).
+    """
+
+
+class CheckpointError(ReproError, ValueError):
+    """A checkpoint file is missing, corrupt, or incompatible.
+
+    Raised by :func:`repro.persistence.load_checkpoint` and by
+    ``fit(..., resume_from=...)`` when the snapshot cannot be restored
+    (wrong format version, truncated payload, or an algorithm mismatch).
+    """
+
+
 class TreeInvariantError(ReproError, RuntimeError):
     """An internal CF*-tree invariant was violated.
 

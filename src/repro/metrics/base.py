@@ -55,9 +55,15 @@ class DistanceFunction(ABC):
     # Public measuring API (counted)
     # ------------------------------------------------------------------
     def distance(self, a, b) -> float:
-        """Return ``d(a, b)``; counts one call."""
+        """Return ``d(a, b)`` as a ``float``; counts one call.
+
+        The result is coerced to ``float`` so user-supplied callables that
+        return ints or numpy scalars (common for edit distances and other
+        counting metrics) still satisfy the scalar contract downstream code
+        relies on.
+        """
         self._n_calls += 1
-        return self._distance(a, b)
+        return float(self._distance(a, b))
 
     def one_to_many(self, obj, objects: Sequence) -> np.ndarray:
         """Return distances from ``obj`` to each element of ``objects``.
@@ -123,7 +129,7 @@ class FunctionDistance(DistanceFunction):
     --------
     >>> metric = FunctionDistance(lambda a, b: abs(a - b), name="abs-diff")
     >>> metric.distance(3, 7)
-    4
+    4.0
     >>> metric.n_calls
     1
     """

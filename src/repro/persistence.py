@@ -1,4 +1,4 @@
-"""Persisting pre-clustering results.
+"""Persisting pre-clustering results and in-flight scan checkpoints.
 
 The point of pre-clustering (Section 2) is to hand a *condensed* dataset to
 later, more expensive analysis — which often happens in another process or
@@ -7,20 +7,40 @@ on another day. This module serializes the sub-cluster summaries
 
 Vectors and strings round-trip out of the box; arbitrary object types can
 supply ``encode`` / ``decode`` callables.
+
+It also provides **scan checkpoints** (:func:`save_checkpoint` /
+:func:`load_checkpoint`): full snapshots of a live CF*-tree — structure,
+policy state, RNG state — plus the scan cursor, so a build killed at object
+9-million restarts from the last checkpoint instead of from zero. Because
+data objects are arbitrary Python values, checkpoints use :mod:`pickle`;
+the one thing deliberately *excluded* from the payload is the distance
+function itself (it may close over sockets, native handles, or lambdas),
+which the loader re-attaches to every structure that referenced it. Only
+load checkpoints you wrote yourself — pickle executes code on load.
 """
 
 from __future__ import annotations
 
+import io
 import json
 import os
+import pickle
 from collections.abc import Callable
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.features import SubCluster
-from repro.exceptions import ParameterError
+from repro.exceptions import CheckpointError, ParameterError
+from repro.metrics.base import DistanceFunction
 
-__all__ = ["save_subclusters", "load_subclusters"]
+__all__ = [
+    "save_subclusters",
+    "load_subclusters",
+    "save_checkpoint",
+    "load_checkpoint",
+    "Checkpoint",
+]
 
 _FORMAT_VERSION = 1
 
@@ -111,3 +131,151 @@ def load_subclusters(
         for item in doc["subclusters"]
     ]
     return subclusters, doc.get("metadata", {})
+
+
+# ----------------------------------------------------------------------
+# Scan checkpoints
+# ----------------------------------------------------------------------
+
+_CHECKPOINT_VERSION = 1
+_METRIC_PID = "repro.metric"
+
+
+class _MetricStrippingPickler(pickle.Pickler):
+    """Pickle everything except :class:`DistanceFunction` instances.
+
+    Every reference to the (single) metric object becomes a persistent id;
+    the loader substitutes a live metric, preserving the shared-identity
+    invariant that ties the tree, its policy, features, and per-node
+    mappers to one NCD counter.
+    """
+
+    def __init__(self, file):
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self._seen_metric_ids: set[int] = set()
+
+    def persistent_id(self, obj):
+        if isinstance(obj, DistanceFunction):
+            self._seen_metric_ids.add(id(obj))
+            if len(self._seen_metric_ids) > 1:
+                raise CheckpointError(
+                    "checkpointing supports exactly one DistanceFunction "
+                    "instance shared across the tree; found more than one"
+                )
+            return _METRIC_PID
+        return None
+
+
+class _MetricRestoringUnpickler(pickle.Unpickler):
+    def __init__(self, file, metric: DistanceFunction):
+        super().__init__(file)
+        self._metric = metric
+
+    def persistent_load(self, pid):
+        if pid == _METRIC_PID:
+            return self._metric
+        raise CheckpointError(f"unknown persistent id {pid!r} in checkpoint")
+
+
+@dataclass
+class Checkpoint:
+    """One restored scan snapshot."""
+
+    #: The CF*-tree exactly as it was, metric re-attached.
+    tree: object
+    #: Number of objects consumed from the input stream so far.
+    cursor: int
+    #: Caller-owned picklable state (quarantine buffer, report counters).
+    state: dict = field(default_factory=dict)
+    #: Free-form metadata stored at save time.
+    metadata: dict = field(default_factory=dict)
+
+
+def save_checkpoint(
+    path: str | os.PathLike,
+    tree,
+    *,
+    cursor: int = 0,
+    state: dict | None = None,
+    metadata: dict | None = None,
+) -> None:
+    """Atomically snapshot a live CF*-tree and its scan position.
+
+    The tree is pickled in full — node structure, leaf features, policy
+    (including per-node sample caches and FastMap image spaces), and the
+    shared RNG so a resumed scan draws the same random stream an
+    uninterrupted one would. The distance function is *not* stored;
+    :func:`load_checkpoint` re-attaches one.
+
+    The write goes to a temp file in the same directory followed by
+    ``os.replace``, so a crash mid-write never corrupts an existing
+    checkpoint.
+    """
+    payload = {
+        "format_version": _CHECKPOINT_VERSION,
+        "cursor": int(cursor),
+        "state": state or {},
+        "metadata": metadata or {},
+        "tree": tree,
+    }
+    buf = io.BytesIO()
+    _MetricStrippingPickler(buf).dump(payload)
+    path = os.fspath(path)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as f:
+            f.write(buf.getvalue())
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):  # pragma: no cover - crash-path cleanup
+            os.unlink(tmp)
+
+
+def load_checkpoint(path: str | os.PathLike, metric: DistanceFunction) -> Checkpoint:
+    """Restore a snapshot written by :func:`save_checkpoint`.
+
+    Parameters
+    ----------
+    path:
+        The checkpoint file.
+    metric:
+        The live distance function to re-attach everywhere the saved tree
+        referenced its metric. Must be behaviorally identical to the one
+        used during the original scan for resume-equivalence to hold.
+
+    Only load checkpoints from trusted sources: the payload is a pickle.
+    """
+    if not isinstance(metric, DistanceFunction):
+        raise ParameterError("metric must be a DistanceFunction")
+    try:
+        with open(path, "rb") as f:
+            payload = _MetricRestoringUnpickler(f, metric).load()
+    except (
+        pickle.UnpicklingError,
+        EOFError,
+        AttributeError,
+        ImportError,
+        IndexError,
+        KeyError,
+        ValueError,
+        TypeError,
+    ) as exc:
+        # pickle surfaces corrupt streams through a zoo of exception types,
+        # not just UnpicklingError (e.g. a stray GET opcode raises ValueError)
+        raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
+    if not isinstance(payload, dict) or "tree" not in payload:
+        raise CheckpointError(f"checkpoint {path!r} has an unrecognized layout")
+    version = payload.get("format_version")
+    if version != _CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint version {version!r} "
+            f"(this build reads version {_CHECKPOINT_VERSION})"
+        )
+    return Checkpoint(
+        tree=payload["tree"],
+        cursor=int(payload.get("cursor", 0)),
+        state=payload.get("state", {}),
+        metadata=payload.get("metadata", {}),
+    )

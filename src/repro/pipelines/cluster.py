@@ -58,6 +58,12 @@ class ClusteringResult:
     model: PreClusterer = field(repr=False, default=None)
 
     @property
+    def ingest_report(self):
+        """Fault-tolerance accounting of the pre-clustering scan
+        (:class:`repro.robustness.IngestReport`)."""
+        return self.model.ingest_report_ if self.model is not None else None
+
+    @property
     def n_clusters(self) -> int:
         return len(self.centers)
 
@@ -91,6 +97,11 @@ def cluster_dataset(
     global_method: str = "hac",
     assign: bool = True,
     seed=None,
+    on_error: str = "raise",
+    max_quarantine: int | None = None,
+    checkpoint_path=None,
+    checkpoint_every: int = 1000,
+    resume_from=None,
 ) -> ClusteringResult:
     """Run the complete pre-cluster → global-phase → label pipeline.
 
@@ -106,6 +117,15 @@ def cluster_dataset(
     instead (a domain-specific alternative in the spirit of Section 2's
     "a domain-specific clustering method can further analyze the
     sub-clusters output by our algorithm").
+
+    ``on_error``, ``max_quarantine``, ``checkpoint_path``,
+    ``checkpoint_every`` and ``resume_from`` are forwarded to the
+    pre-clusterer's ``fit`` — see
+    :meth:`repro.core.preclusterer.PreClusterer.fit` for the fault-handling
+    and checkpoint/resume semantics. Quarantined objects are excluded from
+    the global phase; under ``assign=True`` they are still labeled with
+    their nearest center in the second scan (labeling is read-only, so a
+    previously failing object simply fails again and would raise there).
     """
     if algorithm not in _ALGORITHMS:
         raise ParameterError(f"algorithm must be one of {_ALGORITHMS}, got {algorithm!r}")
@@ -131,7 +151,14 @@ def cluster_dataset(
         model: PreClusterer = BUBBLE(metric, **common)
     else:
         model = BUBBLEFM(metric, image_dim=image_dim, **common)
-    model.fit(objects)
+    model.fit(
+        objects,
+        on_error=on_error,
+        max_quarantine=max_quarantine,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
+        resume_from=resume_from,
+    )
     scan_seconds = time.perf_counter() - start
 
     subclusters = model.subclusters_

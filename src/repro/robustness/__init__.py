@@ -1,0 +1,26 @@
+"""Fault-tolerant ingestion: guarded metrics, quarantine, fault injection.
+
+Production hardening for the library's central trust boundary — the
+user-supplied distance function. See :mod:`repro.robustness.guarded` for
+validation/retry/budget armor, :mod:`repro.robustness.quarantine` for the
+park-and-continue scan buffer, :mod:`repro.robustness.report` for ingestion
+accounting, and :mod:`repro.robustness.injection` for deterministic fault
+drills. Checkpoint/resume of the scan itself lives in
+:mod:`repro.persistence` and is driven by ``PreClusterer.fit``.
+"""
+
+from repro.robustness.guarded import GuardedMetric, MetricFault
+from repro.robustness.injection import FaultInjector, FlakyMetric, InjectedFaultError
+from repro.robustness.quarantine import Quarantine, QuarantinedObject
+from repro.robustness.report import IngestReport
+
+__all__ = [
+    "GuardedMetric",
+    "MetricFault",
+    "FaultInjector",
+    "FlakyMetric",
+    "InjectedFaultError",
+    "Quarantine",
+    "QuarantinedObject",
+    "IngestReport",
+]

@@ -1,0 +1,151 @@
+"""Deterministic fault injection for exercising the robustness layer.
+
+These are first-class library citizens (not test-only helpers) because
+operators need them too: before trusting a guarded configuration in
+production, replay a workload through a :class:`FlakyMetric` and confirm the
+scan completes with the expected quarantine/retry accounting. Everything is
+driven by a seeded generator, so a given ``(seed, failure_rate)`` produces
+the exact same fault sequence on every run — the property the
+checkpoint/resume tests rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.metrics.base import DistanceFunction
+from repro.utils.rng import ensure_rng
+
+__all__ = ["FaultInjector", "FlakyMetric", "InjectedFaultError"]
+
+
+class InjectedFaultError(RuntimeError):
+    """The error a :class:`FlakyMetric` raises on an injected failure.
+
+    Deliberately *not* a :class:`~repro.exceptions.ReproError`: injected
+    faults simulate third-party breakage (network timeouts, native-code
+    crashes), which arrive as arbitrary exception types.
+    """
+
+
+class FaultInjector:
+    """A seeded stream of fail/succeed decisions.
+
+    Parameters
+    ----------
+    failure_rate:
+        Probability that a fresh call is chosen to fail.
+    seed:
+        Seed/generator for the decision stream.
+    fail_streak:
+        Once a call is chosen to fail, the next ``fail_streak - 1`` calls
+        fail too. With a retrying guard, a streak of ``k`` forces exactly
+        ``k`` failed attempts before a retry succeeds — letting tests pin
+        down backoff behavior precisely.
+    start_after:
+        Number of initial calls that always succeed (lets a scan build a
+        healthy tree before faults begin).
+    """
+
+    def __init__(
+        self,
+        failure_rate: float = 0.05,
+        seed: int | np.random.Generator | None = 0,
+        fail_streak: int = 1,
+        start_after: int = 0,
+    ):
+        if not 0.0 <= failure_rate <= 1.0:
+            raise ParameterError(f"failure_rate must be in [0, 1], got {failure_rate}")
+        if fail_streak < 1:
+            raise ParameterError(f"fail_streak must be >= 1, got {fail_streak}")
+        if start_after < 0:
+            raise ParameterError(f"start_after must be >= 0, got {start_after}")
+        self.failure_rate = float(failure_rate)
+        self.fail_streak = int(fail_streak)
+        self.start_after = int(start_after)
+        self._rng = ensure_rng(seed)
+        self._streak_left = 0
+        #: Total decisions made.
+        self.n_calls = 0
+        #: Decisions that came out as failures.
+        self.n_injected = 0
+
+    def should_fail(self) -> bool:
+        """Decide the fate of the next call (advances the seeded stream)."""
+        self.n_calls += 1
+        if self._streak_left > 0:
+            self._streak_left -= 1
+            self.n_injected += 1
+            return True
+        if self.n_calls <= self.start_after:
+            return False
+        if float(self._rng.random()) < self.failure_rate:
+            self._streak_left = self.fail_streak - 1
+            self.n_injected += 1
+            return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FaultInjector(rate={self.failure_rate}, calls={self.n_calls}, "
+            f"injected={self.n_injected})"
+        )
+
+
+class FlakyMetric(DistanceFunction):
+    """Wrap a healthy metric with deterministic, seeded misbehavior.
+
+    Parameters
+    ----------
+    inner:
+        The correct metric to corrupt.
+    injector:
+        The decision stream; built from ``failure_rate``/``seed`` when
+        omitted.
+    mode:
+        How an injected call misbehaves: ``"raise"`` throws
+        :class:`InjectedFaultError`; ``"nan"`` returns NaN; ``"negative"``
+        returns ``-1.0`` (both value modes violate the metric contract and
+        should be caught by a :class:`~repro.robustness.GuardedMetric`).
+    poison:
+        Optional predicate ``poison(obj) -> bool``; any call touching a
+        poisoned object *always* raises, independent of the injector —
+        modeling corrupt records rather than transient backend faults.
+    """
+
+    _MODES = ("raise", "nan", "negative")
+
+    def __init__(
+        self,
+        inner: DistanceFunction,
+        injector: FaultInjector | None = None,
+        *,
+        failure_rate: float = 0.05,
+        seed: int | np.random.Generator | None = 0,
+        mode: str = "raise",
+        poison=None,
+    ):
+        super().__init__()
+        if not isinstance(inner, DistanceFunction):
+            raise ParameterError("inner must be a DistanceFunction")
+        if mode not in self._MODES:
+            raise ParameterError(f"mode must be one of {self._MODES}, got {mode!r}")
+        self.inner = inner
+        self.injector = injector if injector is not None else FaultInjector(
+            failure_rate=failure_rate, seed=seed
+        )
+        self.mode = mode
+        self.poison = poison
+        self.name = f"flaky({inner.name})"
+
+    def _distance(self, a, b) -> float:
+        if self.poison is not None and (self.poison(a) or self.poison(b)):
+            raise InjectedFaultError("poisoned object cannot be measured")
+        if self.injector.should_fail():
+            if self.mode == "raise":
+                raise InjectedFaultError(
+                    f"injected transient fault #{self.injector.n_injected}"
+                )
+            return float("nan") if self.mode == "nan" else -1.0
+        return self.inner._distance(a, b)

@@ -1,0 +1,115 @@
+"""Quarantine buffer: park objects whose insertion failed, keep scanning.
+
+The single-scan property that makes BIRCH* viable on large datasets cuts
+both ways: losing the scan to one malformed record at object 9-million
+throws away hours of work. With ``fit(on_error="quarantine")`` a failed
+insertion parks the object here — together with its scan position and the
+error — and the scan continues. After the scan the buffer is reportable
+(counts per error type) and replayable (the objects are kept verbatim, so a
+fixed metric can re-ingest them via ``partial_fit``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.exceptions import ParameterError, QuarantineOverflowError
+
+__all__ = ["Quarantine", "QuarantinedObject"]
+
+
+@dataclass
+class QuarantinedObject:
+    """One parked object and why it could not be inserted."""
+
+    #: Zero-based position of the object in the scan order.
+    index: int
+    #: The object itself, untouched (replayable after the fault is fixed).
+    obj: object
+    #: Exception class name (e.g. ``"MetricError"``).
+    error_type: str
+    #: Full repr of the exception.
+    error: str
+
+
+class Quarantine:
+    """Bounded buffer of objects that failed ingestion.
+
+    Parameters
+    ----------
+    max_size:
+        Adding beyond this many records raises
+        :class:`~repro.exceptions.QuarantineOverflowError` — the circuit
+        breaker that turns "systematically broken feed" into a hard stop
+        instead of a silently empty clustering. ``None`` means unbounded.
+    """
+
+    def __init__(self, max_size: int | None = None):
+        if max_size is not None and max_size < 0:
+            raise ParameterError(f"max_size must be >= 0, got {max_size}")
+        self.max_size = max_size
+        self._records: list[QuarantinedObject] = []
+
+    def add(self, index: int, obj, error: BaseException | str) -> QuarantinedObject:
+        """Park one object; raises on overflow *before* storing it."""
+        if self.max_size is not None and len(self._records) >= self.max_size:
+            raise QuarantineOverflowError(
+                f"quarantine buffer full ({self.max_size} objects); the "
+                "metric or the data feed looks systematically broken"
+            )
+        if isinstance(error, BaseException):
+            record = QuarantinedObject(index, obj, type(error).__name__, repr(error))
+        else:
+            record = QuarantinedObject(index, obj, "Error", str(error))
+        self._records.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[QuarantinedObject]:
+        return iter(self._records)
+
+    def __bool__(self) -> bool:
+        return bool(self._records)
+
+    @property
+    def records(self) -> list[QuarantinedObject]:
+        return list(self._records)
+
+    @property
+    def objects(self) -> list:
+        """The parked objects in scan order, ready for re-ingestion."""
+        return [r.obj for r in self._records]
+
+    def counts_by_error(self) -> dict[str, int]:
+        """Histogram of exception class names — the triage view."""
+        return dict(Counter(r.error_type for r in self._records))
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def get_state(self) -> dict:
+        """Picklable state for checkpoints (errors already stringified)."""
+        return {
+            "max_size": self.max_size,
+            "records": [
+                (r.index, r.obj, r.error_type, r.error) for r in self._records
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict | None) -> "Quarantine":
+        q = cls(max_size=None if state is None else state.get("max_size"))
+        for index, obj, error_type, error in (state or {}).get("records", []):
+            q._records.append(QuarantinedObject(int(index), obj, error_type, error))
+        return q
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cap = "inf" if self.max_size is None else self.max_size
+        return f"Quarantine({len(self._records)}/{cap} objects)"

@@ -15,7 +15,9 @@ def abs_diff(a, b):
 class TestFunctionDistance:
     def test_wraps_callable(self):
         m = FunctionDistance(abs_diff)
-        assert m.distance(3, 7) == 4
+        result = m.distance(3, 7)
+        assert result == 4.0
+        assert isinstance(result, float)  # int results are coerced
 
     def test_rejects_non_callable(self):
         with pytest.raises(TypeError):

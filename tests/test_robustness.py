@@ -1,0 +1,445 @@
+"""Fault-injection suite for the robustness layer: guarded metrics,
+quarantine-and-continue scans, budgets, and deterministic test doubles."""
+
+import numpy as np
+import pytest
+
+from repro import BUBBLE, EuclideanDistance
+from repro.exceptions import (
+    DeadlineExceededError,
+    EmptyDatasetError,
+    MetricBudgetExceededError,
+    MetricValueError,
+    ParameterError,
+    QuarantineOverflowError,
+)
+from repro.metrics import FunctionDistance
+from repro.robustness import (
+    FaultInjector,
+    FlakyMetric,
+    GuardedMetric,
+    InjectedFaultError,
+    Quarantine,
+)
+
+NOSLEEP = {"sleep": lambda s: None}
+
+
+def euclid(a, b):
+    return float(np.linalg.norm(np.asarray(a) - np.asarray(b)))
+
+
+class TestGuardedMetricValidation:
+    def test_passthrough_and_counting(self):
+        guard = GuardedMetric(FunctionDistance(euclid))
+        assert guard.distance(np.zeros(2), np.array([3.0, 4.0])) == 5.0
+        assert guard.n_calls == 1
+        assert guard.n_faults == 0
+
+    def test_nan_raises_metric_value_error(self):
+        guard = GuardedMetric(FunctionDistance(lambda a, b: float("nan")))
+        with pytest.raises(MetricValueError, match="non-finite"):
+            guard.distance(0, 1)
+        assert guard.n_faults == 1
+        assert guard.faults[0].kind == "invalid-value"
+
+    def test_negative_raises(self):
+        guard = GuardedMetric(FunctionDistance(lambda a, b: -2.0))
+        with pytest.raises(MetricValueError, match="negative"):
+            guard.distance(0, 1)
+
+    def test_tiny_negative_clamped_silently(self):
+        guard = GuardedMetric(FunctionDistance(lambda a, b: -1e-12))
+        assert guard.distance(0, 1) == 0.0
+        assert guard.n_faults == 0
+
+    def test_exception_propagates_under_raise_policy(self):
+        def boom(a, b):
+            raise OSError("backend down")
+
+        guard = GuardedMetric(FunctionDistance(boom))
+        with pytest.raises(OSError, match="backend down"):
+            guard.distance(0, 1)
+        assert guard.faults[0].kind == "exception"
+
+
+class TestRetryPolicy:
+    def test_transient_failure_retried_to_success(self):
+        calls = {"n": 0}
+
+        def flaky(a, b):
+            calls["n"] += 1
+            if calls["n"] <= 2:
+                raise TimeoutError("transient")
+            return 1.0
+
+        guard = GuardedMetric(
+            FunctionDistance(flaky), on_fault="retry", max_retries=3, seed=0, **NOSLEEP
+        )
+        assert guard.distance(0, 1) == 1.0
+        assert guard.n_retries == 2
+        assert guard.n_faults == 0  # recovered, nothing to report
+
+    def test_exhausted_retries_raise_original(self):
+        def always(a, b):
+            raise TimeoutError("still down")
+
+        guard = GuardedMetric(
+            FunctionDistance(always), on_fault="retry", max_retries=2, seed=0, **NOSLEEP
+        )
+        with pytest.raises(TimeoutError):
+            guard.distance(0, 1)
+        assert guard.n_retries == 2
+        assert guard.faults[0].attempts == 3
+
+    def test_invalid_values_also_retried(self):
+        calls = {"n": 0}
+
+        def heals(a, b):
+            calls["n"] += 1
+            return float("nan") if calls["n"] == 1 else 2.0
+
+        guard = GuardedMetric(
+            FunctionDistance(heals), on_fault="retry", max_retries=1, seed=0, **NOSLEEP
+        )
+        assert guard.distance(0, 1) == 2.0
+        assert guard.n_retries == 1
+
+    def test_backoff_sleeps_grow(self):
+        sleeps = []
+
+        def always(a, b):
+            raise ValueError("no")
+
+        guard = GuardedMetric(
+            FunctionDistance(always),
+            on_fault="retry",
+            max_retries=3,
+            backoff=0.1,
+            backoff_multiplier=2.0,
+            jitter=0.0,
+            seed=0,
+            sleep=sleeps.append,
+        )
+        with pytest.raises(ValueError):
+            guard.distance(0, 1)
+        assert sleeps == pytest.approx([0.1, 0.2, 0.4])
+
+
+class TestSubstitutePolicy:
+    def test_substitute_on_exception(self):
+        def boom(a, b):
+            raise RuntimeError("gone")
+
+        guard = GuardedMetric(
+            FunctionDistance(boom), on_fault="substitute", substitute_value=7.5
+        )
+        assert guard.distance(0, 1) == 7.5
+        assert guard.n_substitutions == 1
+        assert guard.faults[0].substituted
+
+    def test_substitute_on_invalid_value(self):
+        guard = GuardedMetric(
+            FunctionDistance(lambda a, b: float("inf")),
+            on_fault="substitute",
+            substitute_value=0.0,
+        )
+        assert guard.distance(0, 1) == 0.0
+        assert guard.n_faults == 1
+
+    def test_substitute_requires_value(self):
+        with pytest.raises(ParameterError, match="substitute_value"):
+            GuardedMetric(FunctionDistance(euclid), on_fault="substitute")
+
+    def test_substitute_value_must_be_valid_distance(self):
+        with pytest.raises(ParameterError):
+            GuardedMetric(
+                FunctionDistance(euclid),
+                on_fault="substitute",
+                substitute_value=float("nan"),
+            )
+
+
+class TestSymmetryCheck:
+    @staticmethod
+    def asymmetric(a, b):
+        return 1.0 if a < b else 2.0
+
+    def test_asymmetry_detected_and_raised(self):
+        guard = GuardedMetric(
+            FunctionDistance(self.asymmetric), symmetry_check_rate=1.0, seed=0
+        )
+        with pytest.raises(MetricValueError, match="asymmetric"):
+            guard.distance(0, 1)
+        assert guard.n_symmetry_checks == 1
+        assert guard.n_symmetry_failures == 1
+
+    def test_asymmetry_substituted_with_mean(self):
+        guard = GuardedMetric(
+            FunctionDistance(self.asymmetric),
+            on_fault="substitute",
+            substitute_value=0.0,
+            symmetry_check_rate=1.0,
+            seed=0,
+        )
+        assert guard.distance(0, 1) == 1.5
+        assert guard.faults[0].kind == "asymmetry"
+
+    def test_spot_check_costs_one_extra_call(self):
+        guard = GuardedMetric(
+            FunctionDistance(euclid), symmetry_check_rate=1.0, seed=0
+        )
+        guard.distance(np.zeros(1), np.ones(1))
+        assert guard.n_calls == 2
+
+    def test_symmetric_metric_passes(self):
+        guard = GuardedMetric(
+            FunctionDistance(euclid), symmetry_check_rate=1.0, seed=0
+        )
+        for i in range(10):
+            guard.distance(np.array([float(i)]), np.array([2.0 * i]))
+        assert guard.n_symmetry_failures == 0
+
+
+class TestBudgets:
+    def test_call_budget_enforced_before_evaluation(self):
+        guard = GuardedMetric(FunctionDistance(euclid), max_calls=3)
+        a, b = np.zeros(1), np.ones(1)
+        for _ in range(3):
+            guard.distance(a, b)
+        with pytest.raises(MetricBudgetExceededError):
+            guard.distance(a, b)
+        assert guard.n_calls == 3  # the overrunning call was never made
+        assert guard.remaining_calls == 0
+
+    def test_batch_budget_checked_as_a_block(self):
+        guard = GuardedMetric(FunctionDistance(euclid), max_calls=10)
+        with pytest.raises(MetricBudgetExceededError):
+            guard.one_to_many(np.zeros(1), [np.ones(1)] * 11)
+        assert guard.n_calls == 0
+
+    def test_deadline_with_injected_clock(self):
+        t = {"now": 0.0}
+        guard = GuardedMetric(
+            FunctionDistance(euclid), deadline_seconds=10.0, clock=lambda: t["now"]
+        )
+        a, b = np.zeros(1), np.ones(1)
+        guard.distance(a, b)
+        t["now"] = 11.0
+        with pytest.raises(DeadlineExceededError):
+            guard.distance(a, b)
+
+    def test_reset_budget_reopens_the_window(self):
+        guard = GuardedMetric(FunctionDistance(euclid), max_calls=1)
+        a, b = np.zeros(1), np.ones(1)
+        guard.distance(a, b)
+        guard.reset_budget()
+        assert guard.distance(a, b) == 1.0
+
+
+class TestBatchGuarding:
+    def test_one_to_many_fallback_substitutes_bad_entries(self):
+        def mostly(a, b):
+            if b == 3:
+                return float("nan")
+            return abs(a - b)
+
+        guard = GuardedMetric(
+            FunctionDistance(mostly), on_fault="substitute", substitute_value=99.0
+        )
+        out = guard.one_to_many(0, [1, 2, 3, 4])
+        np.testing.assert_allclose(out, [1.0, 2.0, 99.0, 4.0])
+        assert guard.n_calls == 4
+
+    def test_pairwise_fallback_stays_symmetric(self):
+        def broken(a, b):
+            if {a, b} == {0, 2}:
+                raise RuntimeError("bad pair")
+            return abs(a - b)
+
+        guard = GuardedMetric(
+            FunctionDistance(broken), on_fault="substitute", substitute_value=5.0
+        )
+        out = guard.pairwise([0, 1, 2])
+        np.testing.assert_allclose(out, out.T)
+        assert out[0, 2] == 5.0
+
+    def test_vectorized_inner_fast_path(self, euclidean):
+        guard = GuardedMetric(euclidean)
+        pts = [np.array([float(i), 0.0]) for i in range(5)]
+        out = guard.one_to_many(pts[0], pts)
+        np.testing.assert_allclose(out, [0, 1, 2, 3, 4])
+        assert guard.n_calls == 5
+
+
+class TestFaultInjector:
+    def test_deterministic_stream(self):
+        a = FaultInjector(failure_rate=0.3, seed=42)
+        b = FaultInjector(failure_rate=0.3, seed=42)
+        seq_a = [a.should_fail() for _ in range(200)]
+        seq_b = [b.should_fail() for _ in range(200)]
+        assert seq_a == seq_b
+        assert a.n_injected == sum(seq_a)
+
+    def test_streaks_fail_consecutively(self):
+        inj = FaultInjector(failure_rate=0.2, seed=0, fail_streak=3)
+        seq = [inj.should_fail() for _ in range(300)]
+        runs, current = [], 0
+        for fail in seq:
+            if fail:
+                current += 1
+            elif current:
+                runs.append(current)
+                current = 0
+        assert runs
+        assert all(r >= 3 for r in runs)
+
+    def test_start_after_grace_period(self):
+        inj = FaultInjector(failure_rate=1.0, seed=0, start_after=5)
+        assert [inj.should_fail() for _ in range(7)] == [False] * 5 + [True] * 2
+
+    def test_flaky_metric_modes(self):
+        inner = FunctionDistance(euclid)
+        raising = FlakyMetric(inner, failure_rate=1.0, seed=0, mode="raise")
+        with pytest.raises(InjectedFaultError):
+            raising.distance(np.zeros(1), np.ones(1))
+        nan = FlakyMetric(FunctionDistance(euclid), failure_rate=1.0, seed=0, mode="nan")
+        assert np.isnan(nan.distance(np.zeros(1), np.ones(1)))
+
+    def test_poisoned_objects_always_fail(self):
+        metric = FlakyMetric(
+            FunctionDistance(lambda a, b: abs(a - b)),
+            failure_rate=0.0,
+            poison=lambda o: o == 13,
+        )
+        assert metric.distance(1, 2) == 1.0
+        with pytest.raises(InjectedFaultError, match="poisoned"):
+            metric.distance(1, 13)
+
+
+class TestQuarantineBuffer:
+    def test_overflow_raises(self):
+        q = Quarantine(max_size=2)
+        q.add(0, "a", ValueError("x"))
+        q.add(1, "b", ValueError("y"))
+        with pytest.raises(QuarantineOverflowError):
+            q.add(2, "c", ValueError("z"))
+        assert len(q) == 2
+
+    def test_counts_by_error(self):
+        q = Quarantine()
+        q.add(0, "a", ValueError("x"))
+        q.add(1, "b", TypeError("y"))
+        q.add(2, "c", ValueError("z"))
+        assert q.counts_by_error() == {"ValueError": 2, "TypeError": 1}
+
+    def test_state_round_trip(self):
+        q = Quarantine(max_size=10)
+        q.add(3, [1.0, 2.0], RuntimeError("boom"))
+        restored = Quarantine.from_state(q.get_state())
+        assert restored.max_size == 10
+        assert restored.records[0].index == 3
+        assert restored.records[0].obj == [1.0, 2.0]
+        assert restored.records[0].error_type == "RuntimeError"
+
+
+class TestQuarantineScan:
+    """fit(on_error="quarantine"): the scan survives bad objects."""
+
+    def test_poison_objects_quarantined_with_exact_counts(self, rng):
+        points = [float(x) for x in rng.uniform(0, 100, size=200)]
+        poison_positions = {17, 50, 99, 150, 151}
+        objects = [
+            "poison" if i in poison_positions else points[i] for i in range(200)
+        ]
+        metric = FlakyMetric(
+            FunctionDistance(lambda a, b: abs(a - b)),
+            failure_rate=0.0,
+            poison=lambda o: o == "poison",
+        )
+        model = BUBBLE(metric, threshold=5.0, seed=0)
+        model.fit(objects, on_error="quarantine")
+        report = model.ingest_report_
+        assert report.n_seen == 200
+        assert report.n_quarantined == len(poison_positions)
+        assert report.n_inserted == 200 - len(poison_positions)
+        assert model.tree_.n_objects == report.n_inserted
+        assert {r.index for r in model.quarantine_} == poison_positions
+        assert all(r.obj == "poison" for r in model.quarantine_)
+        assert model.quarantine_.counts_by_error() == {
+            "InjectedFaultError": len(poison_positions)
+        }
+
+    def test_flaky_metric_five_percent_with_retry_completes(self, rng):
+        """The acceptance scenario: 5% of calls fail transiently; the
+        guarded retry policy absorbs them and the scan completes with exact
+        accounting, matching a fault-free run's clustering."""
+        data = list(rng.normal(size=(400, 2)))
+        flaky = FlakyMetric(EuclideanDistance(), failure_rate=0.05, seed=11)
+        guard = GuardedMetric(
+            flaky, on_fault="retry", max_retries=6, seed=7, **NOSLEEP
+        )
+        model = BUBBLE(guard, max_nodes=20, seed=1)
+        model.fit(data, on_error="quarantine")
+        report = model.ingest_report_
+        assert report.n_seen == 400
+        assert report.n_inserted == 400
+        assert report.n_quarantined == 0
+        assert report.n_retries == guard.n_retries > 0
+        assert report.n_distance_calls == guard.n_calls
+        # Retries are invisible to the clustering: same result as no faults.
+        clean = BUBBLE(EuclideanDistance(), max_nodes=20, seed=1).fit(data)
+        sig = lambda m: sorted((s.n, round(s.radius, 9)) for s in m.subclusters_)
+        assert sig(model) == sig(clean)
+
+    def test_quarantine_overflow_aborts_scan(self, rng):
+        objects = ["bad"] * 50 + [1.0, 2.0]
+        metric = FlakyMetric(
+            FunctionDistance(lambda a, b: abs(a - b)),
+            failure_rate=0.0,
+            poison=lambda o: o == "bad",
+        )
+        model = BUBBLE(metric, threshold=5.0, seed=0)
+        model.partial_fit([0.0])  # healthy root so poison is measured
+        with pytest.raises(QuarantineOverflowError):
+            model.partial_fit(objects, on_error="quarantine", max_quarantine=10)
+        assert len(model.quarantine_) == 10
+
+    def test_budget_exhaustion_not_quarantined(self, rng):
+        data = list(rng.normal(size=(300, 2)))
+        guard = GuardedMetric(EuclideanDistance(), max_calls=50)
+        model = BUBBLE(guard, max_nodes=10, seed=0)
+        with pytest.raises(MetricBudgetExceededError):
+            model.fit(data, on_error="quarantine")
+        assert guard.n_calls <= 50
+
+    def test_total_metric_failure_quarantines_all_but_first(self):
+        metric = FlakyMetric(
+            FunctionDistance(lambda a, b: abs(a - b)),
+            failure_rate=1.0,
+            mode="raise",
+        )
+        model = BUBBLE(metric, threshold=1.0, seed=0)
+        # First object builds the root without distance calls; feed enough
+        # that everything else fails, then check the scan reports honestly.
+        model.fit([1.0, 2.0, 3.0], on_error="quarantine")
+        assert model.ingest_report_.n_inserted == 1
+        assert model.ingest_report_.n_quarantined == 2
+
+    def test_invalid_on_error_rejected(self, euclidean):
+        with pytest.raises(ParameterError, match="on_error"):
+            BUBBLE(euclidean, seed=0).fit([np.zeros(2)], on_error="ignore")
+
+    def test_report_format_mentions_quarantine(self):
+        from repro.robustness import IngestReport
+
+        report = IngestReport(n_seen=10, n_inserted=8, n_quarantined=2)
+        text = report.format()
+        assert "quarantined: 2" in text
+        assert "seen:        10" in text
+
+
+class TestEmptyDataset:
+    def test_empty_fit_still_raises(self, euclidean):
+        with pytest.raises(EmptyDatasetError):
+            BUBBLE(euclidean, seed=0).fit([])

@@ -111,3 +111,61 @@ class TestPersistence:
         path.write_text('{"format_version": 99, "subclusters": []}')
         with pytest.raises(ParameterError):
             load_subclusters(path)
+
+
+class TestPersistenceAcrossRebuilds:
+    """Round-trips must survive the rebuild path: trees that grew through
+    Type II re-insertions (and outlier parking) produce summaries whose
+    serialized form is identical to the in-memory one."""
+
+    def _assert_identical(self, saved, loaded):
+        assert len(loaded) == len(saved)
+        for orig, back in zip(saved, loaded):
+            assert back.n == orig.n
+            assert back.radius == pytest.approx(orig.radius, rel=0, abs=0)
+            np.testing.assert_array_equal(
+                np.asarray(back.clustroid), np.asarray(orig.clustroid)
+            )
+            assert len(back.representatives) == len(orig.representatives)
+            for r_orig, r_back in zip(orig.representatives, back.representatives):
+                np.testing.assert_array_equal(
+                    np.asarray(r_back), np.asarray(r_orig)
+                )
+
+    def test_rebuilt_tree_round_trip(self, tmp_path, euclidean, rng):
+        points = list(rng.normal(size=(600, 2)))
+        model = BUBBLE(euclidean, max_nodes=8, seed=0).fit(points)
+        assert model.tree_.n_rebuilds > 0  # the rebuild path actually ran
+        path = tmp_path / "rebuilt.json"
+        save_subclusters(path, model.subclusters_)
+        loaded, _ = load_subclusters(path)
+        self._assert_identical(model.subclusters_, loaded)
+
+    def test_rebuilds_with_outlier_parking_round_trip(self, tmp_path, euclidean, rng):
+        dense = list(rng.normal(size=(400, 2)))
+        stragglers = list(rng.normal(size=(20, 2)) * 50 + 500)
+        order = rng.permutation(420)
+        points = [(dense + stragglers)[i] for i in order]
+        model = BUBBLE(
+            euclidean, max_nodes=8, outlier_fraction=0.5, seed=0
+        ).fit(points)
+        assert model.tree_.n_rebuilds > 0
+        assert model.tree_.n_outliers_parked > 0
+        assert model.tree_.n_objects == 420  # parked clusters were re-absorbed
+        path = tmp_path / "outliers.json"
+        save_subclusters(path, model.subclusters_)
+        loaded, _ = load_subclusters(path)
+        self._assert_identical(model.subclusters_, loaded)
+        assert sum(s.n for s in loaded) == 420
+
+    def test_string_tree_with_rebuilds_round_trip(self, tmp_path, rng):
+        pool = ["smith", "smyth", "jones", "brown", "braun", "taylor"]
+        words = [pool[i % 6] + str(int(x)) for i, x in enumerate(rng.uniform(0, 100, 300))]
+        model = BUBBLE(EditDistance(), max_nodes=4, seed=1).fit(words)
+        assert model.tree_.n_rebuilds > 0
+        path = tmp_path / "strings_rebuilt.json"
+        save_subclusters(path, model.subclusters_)
+        loaded, _ = load_subclusters(path)
+        assert sorted((s.n, s.clustroid) for s in loaded) == sorted(
+            (s.n, s.clustroid) for s in model.subclusters_
+        )
