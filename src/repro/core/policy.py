@@ -23,6 +23,7 @@ share one tree implementation.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Any
 
 import numpy as np
 
@@ -43,11 +44,11 @@ class BirchStarPolicy(ABC):
     # Leaf level
     # ------------------------------------------------------------------
     @abstractmethod
-    def new_leaf_feature(self, obj) -> ClusterFeature:
+    def new_leaf_feature(self, obj: Any) -> ClusterFeature:
         """Create the CF* of a brand-new cluster containing only ``obj``."""
 
     @abstractmethod
-    def leaf_distances(self, node: LeafNode, obj) -> np.ndarray:
+    def leaf_distances(self, node: LeafNode, obj: Any) -> np.ndarray:
         """Distances from ``obj`` to every leaf entry of ``node`` (the D0
         column the insertion step minimizes)."""
 
@@ -66,12 +67,14 @@ class BirchStarPolicy(ABC):
         out = np.zeros((n, n), dtype=np.float64)
         for i in range(n):
             for j in range(i + 1, n):
-                d = self.leaf_entry_distance(entries[i], entries[j])
+                # Bounded by B+1 entries of one overflowing node, not by the
+                # dataset: this is the paper's split-seed cost, not a scan.
+                d = self.leaf_entry_distance(entries[i], entries[j])  # reprolint: disable=RPL004
                 out[i, j] = d
                 out[j, i] = d
         return out
 
-    def routing_object(self, feature: ClusterFeature):
+    def routing_object(self, feature: ClusterFeature) -> Any:
         """The object used to route a re-inserted cluster down the tree.
 
         Type II insertions re-insert a whole CF*; BUBBLE routes it by its
@@ -83,7 +86,7 @@ class BirchStarPolicy(ABC):
     # Non-leaf level
     # ------------------------------------------------------------------
     @abstractmethod
-    def nonleaf_distances(self, node: NonLeafNode, obj) -> np.ndarray:
+    def nonleaf_distances(self, node: NonLeafNode, obj: Any) -> np.ndarray:
         """Distances from ``obj`` to every entry of non-leaf ``node``."""
 
     @abstractmethod
@@ -119,7 +122,7 @@ class BirchStarPolicy(ABC):
         self.refresh_node(left)
         self.refresh_node(right)
 
-    def on_descend(self, node: NonLeafNode, entry_index: int, obj, feature) -> None:
+    def on_descend(self, node: NonLeafNode, entry_index: int, obj: Any, feature: Any) -> None:
         """Called as an insertion descends through ``node`` via
         ``entry_index``. BUBBLE ignores it; the BIRCH instantiation uses it
         to keep its additive non-leaf CFs exact."""

@@ -6,6 +6,20 @@ All exceptions raised intentionally by this library derive from
 
 from __future__ import annotations
 
+__all__ = [
+    "ReproError",
+    "ParameterError",
+    "EmptyDatasetError",
+    "NotFittedError",
+    "MetricError",
+    "MetricValueError",
+    "MetricBudgetExceededError",
+    "DeadlineExceededError",
+    "QuarantineOverflowError",
+    "CheckpointError",
+    "TreeInvariantError",
+]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the :mod:`repro` package."""

@@ -81,14 +81,12 @@ def stress(
     if n < 2:
         return 0.0
     images = np.asarray(images, dtype=np.float64)
-    num = 0.0
-    den = 0.0
-    for i in range(n):
-        for j in range(i + 1, n):
-            d_true = metric.distance(objects[i], objects[j])
-            d_img = float(np.linalg.norm(images[i] - images[j]))
-            num += (d_true - d_img) ** 2
-            den += d_true**2
+    d_true = metric.pairwise(objects)
+    diff = images[:, None, :] - images[None, :, :]
+    d_img = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+    iu = np.triu_indices(n, k=1)
+    num = float(((d_true[iu] - d_img[iu]) ** 2).sum())
+    den = float((d_true[iu] ** 2).sum())
     if den == 0.0:
         return 0.0
     return float(np.sqrt(num / den))

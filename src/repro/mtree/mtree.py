@@ -236,7 +236,10 @@ class MTree:
                     and abs(d_qp - e.dist_to_parent) > current_radius() + e.radius
                 ):
                     continue
-                d = self.metric.distance(query, e.obj)
+                # Best-first search prunes via the triangle inequality; the
+                # inner loop is bounded by node capacity, and these counted
+                # calls are exactly the query cost the index exists to shrink.
+                d = self.metric.distance(query, e.obj)  # reprolint: disable=RPL004
                 if node.is_leaf:
                     if d <= current_radius():
                         heapq.heappush(best, (-d, next(counter), e.obj))
@@ -289,7 +292,9 @@ class MTree:
                 )
             for e in node.entries:
                 if routing is not None:
-                    d = self.metric._distance(e.obj, routing)
+                    # NCD-neutral audit: invariant checks must not perturb the
+                    # call counter (cf. repro.analysis.audit).
+                    d = self.metric._distance(e.obj, routing)  # reprolint: disable=RPL001
                     if e.dist_to_parent is None or abs(d - e.dist_to_parent) > 1e-9:
                         raise TreeInvariantError("stale dist_to_parent")
                     if d - 1e-9 > radius:
