@@ -1,0 +1,40 @@
+"""Static analysis and runtime auditing for the reproduction.
+
+Three layers turn the paper's stated invariants into machine-checked
+guarantees:
+
+* :mod:`repro.analysis.lint` — **reprolint**, an AST linter with
+  project-specific rules (NCD-accounting hygiene, seeded randomness,
+  tolerance-based distance comparisons, no accidental all-pairs scans,
+  explicit public surfaces);
+* :mod:`repro.analysis.audit` — a CF*-tree invariant sanitizer that walks
+  a live tree and checks the structural and CF*-level properties of
+  Sections 3-4 (Lemma 4.2, Observation 1);
+* the mypy strict-typing gate configured in ``pyproject.toml`` (this
+  package ships ``py.typed``).
+
+See ``docs/analysis.md`` for the rule catalogue and the audit guarantees.
+"""
+
+from repro.analysis.audit import AuditIssue, AuditReport, audit_tree
+from repro.analysis.lint import (
+    LintViolation,
+    format_violations,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.rules import ALL_RULES, Rule
+
+__all__ = [
+    "ALL_RULES",
+    "AuditIssue",
+    "AuditReport",
+    "LintViolation",
+    "Rule",
+    "audit_tree",
+    "format_violations",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

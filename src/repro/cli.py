@@ -1,13 +1,20 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands cover the end-to-end workflows:
+The workflow commands:
 
 * ``generate`` — write a synthetic workload (ds1 / ds2 / cell / strings) to
   a file, with ground-truth labels alongside;
 * ``cluster`` — single-scan pre-clustering of a vector CSV or a string file,
   optional hierarchical global phase, labels written one per line;
 * ``authority`` — build an authority file from records (Section 7), writing
-  ``canonical<TAB>member`` lines.
+  ``canonical<TAB>member`` lines;
+* ``evaluate`` — score predicted labels against ground truth.
+
+And the analysis commands (see ``docs/analysis.md``):
+
+* ``lint`` — run **reprolint**, the project-specific static analyzer;
+* ``audit`` — load a scan checkpoint and run the CF*-tree invariant
+  sanitizer over it.
 
 The CLI is a thin veneer over the library; every option maps 1:1 onto an
 API parameter documented there.
@@ -128,7 +135,44 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     ev.add_argument("predicted", help="one integer label per line")
     ev.add_argument("truth", help="one integer label per line")
+
+    # The real argument surface lives in repro.analysis.lint.main; main()
+    # forwards before this parser runs. Registered here so `repro --help`
+    # lists it.
+    sub.add_parser("lint", help="run reprolint, the project static analyzer")
+
+    aud = sub.add_parser(
+        "audit", help="audit the CF*-tree invariants of a scan checkpoint"
+    )
+    aud.add_argument("checkpoint", help="checkpoint file written during a scan")
+    aud.add_argument("--type", choices=["vectors", "strings"], required=True)
+    aud.add_argument("--metric", default=None,
+                     help="euclidean|manhattan (vectors), edit|damerau (strings)")
+    aud.add_argument(
+        "--no-recompute", action="store_true",
+        help="skip the from-scratch RowSum recomputation of exact clusters",
+    )
+    aud.add_argument(
+        "--show-warnings", action="store_true",
+        help="also print warning-severity findings (drift diagnostics)",
+    )
     return parser
+
+
+def _make_metric(kind: str, name: str | None):
+    """Construct the metric a CLI command asked for, or None + stderr note."""
+    if kind == "vectors":
+        label = "vector"
+        metric_name = name or "euclidean"
+        registry = _VECTOR_METRICS
+    else:
+        label = "string"
+        metric_name = name or "edit"
+        registry = _STRING_METRICS
+    if metric_name not in registry:
+        print(f"error: unknown {label} metric {metric_name!r}", file=sys.stderr)
+        return None
+    return registry[metric_name]()
 
 
 def _cmd_generate(args) -> int:
@@ -159,19 +203,12 @@ def _cmd_generate(args) -> int:
 
 
 def _cmd_cluster(args) -> int:
+    metric = _make_metric(args.type, args.metric)
+    if metric is None:
+        return 2
     if args.type == "vectors":
-        metric_name = args.metric or "euclidean"
-        if metric_name not in _VECTOR_METRICS:
-            print(f"error: unknown vector metric {metric_name!r}", file=sys.stderr)
-            return 2
-        metric = _VECTOR_METRICS[metric_name]()
         objects = list(stream_vectors(args.input))
     else:
-        metric_name = args.metric or "edit"
-        if metric_name not in _STRING_METRICS:
-            print(f"error: unknown string metric {metric_name!r}", file=sys.stderr)
-            return 2
-        metric = _STRING_METRICS[metric_name]()
         objects = list(stream_strings(args.input))
     if not objects:
         print("error: input file holds no objects", file=sys.stderr)
@@ -306,15 +343,67 @@ def _cmd_evaluate(args) -> int:
     return 0
 
 
+def _cmd_audit(args) -> int:
+    from repro.analysis import audit_tree
+    from repro.core.cftree import CFTree
+    from repro.exceptions import CheckpointError
+    from repro.persistence import load_checkpoint
+
+    metric = _make_metric(args.type, args.metric)
+    if metric is None:
+        return 2
+    try:
+        ck = load_checkpoint(args.checkpoint, metric=metric)
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: cannot read checkpoint: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(ck.tree, CFTree):
+        print("error: checkpoint does not hold a CF*-tree", file=sys.stderr)
+        return 2
+    report = audit_tree(
+        ck.tree,
+        recompute_exact=not args.no_recompute,
+        raise_on_error=False,
+    )
+    algorithm = ck.metadata.get("algorithm", "?")
+    print(
+        f"checkpoint: {algorithm} at cursor {ck.cursor}; "
+        f"{ck.tree.n_nodes} nodes, {ck.tree.n_clusters} clusters, "
+        f"T={ck.tree.threshold:.6g}, rebuilds={ck.tree.n_rebuilds}"
+    )
+    print(
+        f"audit: {report.n_nodes} nodes and {report.n_features} leaf features "
+        f"checked; {len(report.errors)} error(s), {len(report.warnings)} warning(s)"
+    )
+    for issue in report.errors:
+        print(issue.format())
+    if args.show_warnings:
+        for issue in report.warnings:
+            print(issue.format())
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = _build_parser().parse_args(argv)
+    arg_list = list(sys.argv[1:] if argv is None else argv)
+    if arg_list and arg_list[0] == "lint":
+        # reprolint owns its argument surface (shared with
+        # `python -m repro.analysis`); forward everything after the verb.
+        from repro.analysis.lint import main as lint_main
+
+        return lint_main(arg_list[1:])
+    args = _build_parser().parse_args(arg_list)
     if args.command == "generate":
         return _cmd_generate(args)
     if args.command == "cluster":
         return _cmd_cluster(args)
     if args.command == "evaluate":
         return _cmd_evaluate(args)
+    if args.command == "audit":
+        return _cmd_audit(args)
     return _cmd_authority(args)
 
 

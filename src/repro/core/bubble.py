@@ -17,6 +17,8 @@ splits (Section 4.2.2).
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 from repro.core.features import (
@@ -81,23 +83,23 @@ class BubblePolicy(BirchStarPolicy):
     # ------------------------------------------------------------------
     # Leaf level (D0 everywhere)
     # ------------------------------------------------------------------
-    def new_leaf_feature(self, obj) -> BubbleClusterFeature:
+    def new_leaf_feature(self, obj: Any) -> BubbleClusterFeature:
         return BubbleClusterFeature(self.metric, obj, self.representation_number)
 
-    def leaf_distances(self, node: LeafNode, obj) -> np.ndarray:
+    def leaf_distances(self, node: LeafNode, obj: Any) -> np.ndarray:
         clustroids = [feature.clustroid for feature in node.entries]
         return self.metric.one_to_many(obj, clustroids)
 
-    def leaf_entry_distance(self, a, b) -> float:
+    def leaf_entry_distance(self, a: Any, b: Any) -> float:
         return self.metric.distance(a.clustroid, b.clustroid)
 
-    def leaf_entry_matrix(self, entries) -> np.ndarray:
+    def leaf_entry_matrix(self, entries: Any) -> np.ndarray:
         return self.metric.pairwise([feature.clustroid for feature in entries])
 
     # ------------------------------------------------------------------
     # Non-leaf level (sample objects, D2)
     # ------------------------------------------------------------------
-    def nonleaf_distances(self, node: NonLeafNode, obj) -> np.ndarray:
+    def nonleaf_distances(self, node: NonLeafNode, obj: Any) -> np.ndarray:
         cache = self._node_cache(node)
         dists = self.metric.one_to_many(obj, cache.flat)
         sq = dists**2
@@ -135,7 +137,7 @@ class BubblePolicy(BirchStarPolicy):
             offsets.append(len(flat))
         node.aux = _SampleCache(flat, np.asarray(offsets, dtype=np.intp))
 
-    def _sample_pool(self, child) -> list:
+    def _sample_pool(self, child: Any) -> list:
         """Objects a non-leaf entry may sample from: the child's clustroids
         if it is a leaf, otherwise the union of the child's own samples."""
         if child.is_leaf:

@@ -23,6 +23,8 @@ Per the paper:
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 from repro.core.bubble import BubblePolicy, _SampleCache
@@ -46,9 +48,9 @@ class _FMSampleCache(_SampleCache):
 
     def __init__(
         self,
-        flat,
-        offsets,
-        mapper,
+        flat: Any,
+        offsets: Any,
+        mapper: Any,
         centroids: np.ndarray | None,
         images: np.ndarray | None = None,
     ):
@@ -88,7 +90,7 @@ class BubbleFMPolicy(BubblePolicy):
         image_dim: int = 2,
         fm_iterations: int = 1,
         mapper: str = "fastmap",
-        seed=None,
+        seed: Any=None,
     ):
         super().__init__(metric, representation_number, sample_size, seed)
         self.image_dim = check_integer(image_dim, "image_dim", minimum=1)
@@ -105,7 +107,7 @@ class BubbleFMPolicy(BubblePolicy):
             return 2 * self.image_dim
         return 2 * self.image_dim + 2  # landmark count
 
-    def _make_mapper(self):
+    def _make_mapper(self) -> FastMap | LandmarkMDS:
         if self.mapper == "fastmap":
             return FastMap(
                 self.metric, self.image_dim,
@@ -174,7 +176,7 @@ class BubbleFMPolicy(BubblePolicy):
             )
             half.aux = _FMSampleCache(flat, off, cache.mapper, centroids, images)
 
-    def nonleaf_distances(self, node: NonLeafNode, obj) -> np.ndarray:
+    def nonleaf_distances(self, node: NonLeafNode, obj: Any) -> np.ndarray:
         cache = self._node_cache(node)
         if getattr(cache, "mapper", None) is None:
             return super().nonleaf_distances(node, obj)
@@ -195,7 +197,7 @@ class BubbleFMPolicy(BubblePolicy):
         np.fill_diagonal(d2, 0.0)
         return np.sqrt(d2)
 
-    def _node_cache(self, node: NonLeafNode):
+    def _node_cache(self, node: NonLeafNode) -> _FMSampleCache:
         if not isinstance(node.aux, _FMSampleCache):
             self.refresh_node(node)
         return node.aux

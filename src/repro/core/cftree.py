@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import logging
 from collections.abc import Iterator
+from typing import Any
 
 import numpy as np
 
@@ -53,6 +54,13 @@ class CFTree:
         its own cluster until the first rebuild, as in BIRCH.
     seed:
         Seed/generator for the threshold heuristic's leaf sampling.
+    validate:
+        ``None`` (default) for no runtime checking; ``"debug"`` runs the
+        full invariant sanitizer (:func:`repro.analysis.audit.audit_tree`)
+        after every insertion that split a node and after every rebuild,
+        raising :class:`~repro.exceptions.TreeInvariantError` at the first
+        violation. Expensive — meant for tests and bug hunts, not
+        production scans.
     """
 
     def __init__(
@@ -63,6 +71,7 @@ class CFTree:
         threshold: float = 0.0,
         outlier_fraction: float | None = None,
         seed: int | np.random.Generator | None = None,
+        validate: str | None = None,
     ):
         if not isinstance(policy, BirchStarPolicy):
             raise ParameterError("policy must be a BirchStarPolicy")
@@ -87,28 +96,34 @@ class CFTree:
         self.outlier_fraction = outlier_fraction
         self._outliers: list[ClusterFeature] = []
         self.n_outliers_parked = 0
+        if validate not in (None, "debug"):
+            raise ParameterError(f'validate must be None or "debug", got {validate!r}')
+        self.validate = validate
         self._rng = ensure_rng(seed)
         self.root: LeafNode | NonLeafNode = LeafNode()
         self.n_nodes = 1
         self.n_objects = 0
         self.n_rebuilds = 0
+        self._split_since_audit = False
 
     # ------------------------------------------------------------------
     # Insertion
     # ------------------------------------------------------------------
-    def insert(self, obj) -> None:
+    def insert(self, obj: Any) -> None:
         """Type I insertion of a single object; may trigger a rebuild."""
         self._insert_top(None, obj)
         self.n_objects += 1
         if self.max_nodes is not None:
             while self.n_nodes > self.max_nodes:
                 self.rebuild(suggest_next_threshold(self, self._rng))
+        if self.validate is not None and self._split_since_audit:
+            self._audit()
 
     def insert_feature(self, feature: ClusterFeature) -> None:
         """Type II insertion of a whole cluster (used by :meth:`rebuild`)."""
         self._insert_top(feature, self.policy.routing_object(feature))
 
-    def _insert_top(self, feature, routing_obj) -> None:
+    def _insert_top(self, feature: Any, routing_obj: Any) -> None:
         split = self._insert_into(self.root, feature, routing_obj)
         if split is not None:
             left, right = split
@@ -117,7 +132,9 @@ class CFTree:
             self.n_nodes += 1
             self.policy.refresh_node(new_root)
 
-    def _insert_into(self, node, feature, routing_obj):
+    def _insert_into(
+        self, node: Any, feature: Any, routing_obj: Any
+    ) -> tuple[Any, Any] | None:
         """Insert below ``node``; return ``(left, right)`` if it split."""
         if node.is_leaf:
             return self._insert_into_leaf(node, feature, routing_obj)
@@ -138,7 +155,9 @@ class CFTree:
             return self._split_nonleaf(node)
         return None
 
-    def _insert_into_leaf(self, node: LeafNode, feature, routing_obj):
+    def _insert_into_leaf(
+        self, node: LeafNode, feature: Any, routing_obj: Any
+    ) -> tuple[Any, Any] | None:
         if node.entries:
             dists = self.policy.leaf_distances(node, routing_obj)
             idx = int(np.argmin(dists))
@@ -189,6 +208,7 @@ class CFTree:
         left = LeafNode([node.entries[i] for i in group_a])
         right = LeafNode([node.entries[i] for i in group_b])
         self.n_nodes += 1
+        self._split_since_audit = True
         return left, right
 
     def _split_nonleaf(self, node: NonLeafNode) -> tuple[NonLeafNode, NonLeafNode]:
@@ -197,6 +217,7 @@ class CFTree:
         left = NonLeafNode([node.entries[i] for i in group_a])
         right = NonLeafNode([node.entries[i] for i in group_b])
         self.n_nodes += 1
+        self._split_since_audit = True
         # Both halves are new nodes: re-derive their node-level summaries
         # (policies may reuse the old node's state instead of refreshing).
         self.policy.on_node_split(node, left, right)
@@ -251,6 +272,8 @@ class CFTree:
             self.n_nodes,
             self.n_clusters,
         )
+        if self.validate is not None:
+            self._audit()
 
     def reabsorb_outliers(self) -> int:
         """Re-insert all parked outlier clusters; returns how many.
@@ -277,7 +300,7 @@ class CFTree:
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
-    def nearest_leaf_feature(self, obj) -> ClusterFeature:
+    def nearest_leaf_feature(self, obj: Any) -> ClusterFeature:
         """Route ``obj`` down the tree and return the closest leaf cluster.
 
         This is the read-only counterpart of insertion — the CF*-tree's
@@ -326,6 +349,14 @@ class CFTree:
             node = node.entries[0].child
             height += 1
         return height
+
+    def _audit(self) -> None:
+        """Run the full invariant sanitizer (``validate="debug"`` hook)."""
+        # Imported lazily: repro.analysis depends on repro.core, not vice versa.
+        from repro.analysis.audit import audit_tree
+
+        self._split_since_audit = False
+        audit_tree(self, raise_on_error=True)
 
     def check_invariants(self) -> None:
         """Raise :class:`TreeInvariantError` on any structural violation.

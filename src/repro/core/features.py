@@ -32,6 +32,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from collections.abc import Sequence
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -47,7 +48,7 @@ __all__ = [
 ]
 
 
-def object_to_set_distance(metric: DistanceFunction, obj, objects: Sequence) -> float:
+def object_to_set_distance(metric: DistanceFunction, obj: Any, objects: Sequence) -> float:
     """``D2({obj}, objects)``: the average inter-cluster distance of Def. 4.4
     between a singleton and a set — the routing distance BUBBLE uses at
     non-leaf nodes. Counts ``len(objects)`` distance calls."""
@@ -80,7 +81,7 @@ class ClusterFeature(ABC):
 
     @property
     @abstractmethod
-    def clustroid(self):
+    def clustroid(self) -> Any:
         """The representative center object of the cluster."""
 
     @property
@@ -89,7 +90,7 @@ class ClusterFeature(ABC):
         """Root-mean-square distance of members to the clustroid."""
 
     @abstractmethod
-    def absorb(self, obj, dist_to_clustroid: float | None = None) -> None:
+    def absorb(self, obj: Any, dist_to_clustroid: float | None = None) -> None:
         """Type I insertion: add a single object to the cluster."""
 
     @abstractmethod
@@ -100,7 +101,7 @@ class ClusterFeature(ABC):
     def distance_to(self, other: "ClusterFeature") -> float:
         """Inter-cluster distance used for the threshold test and splits."""
 
-    def admits(self, obj, dist: float, threshold: float) -> bool:
+    def admits(self, obj: Any, dist: float, threshold: float) -> bool:
         """Threshold requirement: may ``obj`` (at distance ``dist`` from this
         cluster) be absorbed without violating quality ``threshold``?
 
@@ -130,7 +131,7 @@ class BubbleClusterFeature(ClusterFeature):
 
     __slots__ = ("metric", "n", "rep_cap", "p", "exact", "_reps", "_rowsums", "_clustroid_idx")
 
-    def __init__(self, metric: DistanceFunction, obj, representation_number: int = 10):
+    def __init__(self, metric: DistanceFunction, obj: Any, representation_number: int = 10):
         if representation_number < 2 or representation_number % 2 != 0:
             raise ParameterError(
                 f"representation_number (2p) must be an even integer >= 2, "
@@ -150,7 +151,7 @@ class BubbleClusterFeature(ClusterFeature):
     # Summary statistics
     # ------------------------------------------------------------------
     @property
-    def clustroid(self):
+    def clustroid(self) -> Any:
         return self._reps[self._clustroid_idx]
 
     @property
@@ -183,7 +184,7 @@ class BubbleClusterFeature(ClusterFeature):
     # ------------------------------------------------------------------
     # Type I insertion
     # ------------------------------------------------------------------
-    def absorb(self, obj, dist_to_clustroid: float | None = None) -> None:
+    def absorb(self, obj: Any, dist_to_clustroid: float | None = None) -> None:
         """Insert a single object (Section 4.1.2, Type I).
 
         ``dist_to_clustroid`` is accepted for interface symmetry; the batch

@@ -11,6 +11,8 @@ for BIRCH).
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.core.features import ClusterFeature
 
 __all__ = ["LeafNode", "NonLeafNode", "NonLeafEntry"]
@@ -41,7 +43,7 @@ class NonLeafEntry:
 
     __slots__ = ("child", "summary")
 
-    def __init__(self, child, summary=None):
+    def __init__(self, child: Any, summary: Any=None):
         self.child = child
         self.summary = summary
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 import itertools
 import time
 from collections.abc import Iterable
+from typing import Any
 
 import numpy as np
 
@@ -82,6 +83,10 @@ class PreClusterer:
         paper's setting) disables it.
     seed:
         Seed or generator for all stochastic choices (sampling, pivots).
+    validate:
+        ``"debug"`` audits every split/rebuild with the invariant
+        sanitizer (:func:`repro.analysis.audit.audit_tree`); ``None``
+        (default) skips runtime checking.
     """
 
     def __init__(
@@ -94,6 +99,7 @@ class PreClusterer:
         threshold: float = 0.0,
         outlier_fraction: float | None = None,
         seed: int | np.random.Generator | None = None,
+        validate: str | None = None,
     ):
         self.metric = metric
         self.branching_factor = branching_factor
@@ -102,6 +108,7 @@ class PreClusterer:
         self.max_nodes = max_nodes
         self.initial_threshold = threshold
         self.outlier_fraction = outlier_fraction
+        self.validate = validate
         self._rng = ensure_rng(seed)
         self.tree_: CFTree | None = None
         self.quarantine_: Quarantine = Quarantine()
@@ -119,9 +126,9 @@ class PreClusterer:
         *,
         on_error: str = "raise",
         max_quarantine: int | None = None,
-        checkpoint_path=None,
+        checkpoint_path: Any=None,
         checkpoint_every: int = 1000,
-        resume_from=None,
+        resume_from: Any=None,
     ) -> "PreClusterer":
         """Cluster ``objects`` in a single sequential scan.
 
@@ -186,7 +193,7 @@ class PreClusterer:
         *,
         on_error: str = "raise",
         max_quarantine: int | None = None,
-        checkpoint_path=None,
+        checkpoint_path: Any=None,
         checkpoint_every: int = 1000,
     ) -> "PreClusterer":
         """Absorb one more batch of objects into the evolving clustering.
@@ -223,6 +230,7 @@ class PreClusterer:
                 threshold=self.initial_threshold,
                 outlier_fraction=self.outlier_fraction,
                 seed=self._rng,
+                validate=self.validate,
             )
         if max_quarantine is not None and self.quarantine_.max_size is None:
             self.quarantine_.max_size = max_quarantine
@@ -248,7 +256,7 @@ class PreClusterer:
     # ------------------------------------------------------------------
     # Fault-tolerant insertion
     # ------------------------------------------------------------------
-    def _insert_or_quarantine(self, obj, index: int) -> None:
+    def _insert_or_quarantine(self, obj: Any, index: int) -> None:
         tree = self.tree_
         n_before = tree.n_objects
         try:
@@ -286,7 +294,7 @@ class PreClusterer:
     # ------------------------------------------------------------------
     # Checkpoint / resume
     # ------------------------------------------------------------------
-    def _write_checkpoint(self, path) -> None:
+    def _write_checkpoint(self, path: Any) -> None:
         from repro.persistence import save_checkpoint
 
         self._sync_report()
@@ -306,7 +314,7 @@ class PreClusterer:
         )
         self.ingest_report_.n_checkpoints += 1
 
-    def _restore_checkpoint(self, path) -> None:
+    def _restore_checkpoint(self, path: Any) -> None:
         from repro.persistence import load_checkpoint
 
         ck = load_checkpoint(path, metric=self.metric)
@@ -482,6 +490,7 @@ class BUBBLEFM(PreClusterer):
         fm_iterations: int = 1,
         mapper: str = "fastmap",
         seed: int | np.random.Generator | None = None,
+        validate: str | None = None,
     ):
         super().__init__(
             metric,
@@ -492,6 +501,7 @@ class BUBBLEFM(PreClusterer):
             threshold=threshold,
             outlier_fraction=outlier_fraction,
             seed=seed,
+            validate=validate,
         )
         self.image_dim = image_dim
         self.fm_iterations = fm_iterations

@@ -16,6 +16,8 @@ thresholds, hence termination of the rebuild loop.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 from repro.utils.rng import ensure_rng
@@ -28,7 +30,7 @@ _MAX_SAMPLED_LEAVES = 10
 _GROWTH_FLOOR = 1.5
 
 
-def suggest_next_threshold(tree, seed: int | np.random.Generator | None = None) -> float:
+def suggest_next_threshold(tree: Any, seed: int | np.random.Generator | None = None) -> float:
     """Propose a strictly larger threshold for ``tree``'s next rebuild."""
     rng = ensure_rng(seed)
     candidates = [leaf for leaf in tree.leaves() if len(leaf.entries) >= 2]

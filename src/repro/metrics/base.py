@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections.abc import Callable, Sequence
+from typing import Any
 
 import numpy as np
 
@@ -54,7 +55,7 @@ class DistanceFunction(ABC):
     # ------------------------------------------------------------------
     # Public measuring API (counted)
     # ------------------------------------------------------------------
-    def distance(self, a, b) -> float:
+    def distance(self, a: Any, b: Any) -> float:
         """Return ``d(a, b)`` as a ``float``; counts one call.
 
         The result is coerced to ``float`` so user-supplied callables that
@@ -65,7 +66,7 @@ class DistanceFunction(ABC):
         self._n_calls += 1
         return float(self._distance(a, b))
 
-    def one_to_many(self, obj, objects: Sequence) -> np.ndarray:
+    def one_to_many(self, obj: Any, objects: Sequence) -> np.ndarray:
         """Return distances from ``obj`` to each element of ``objects``.
 
         Counts ``len(objects)`` calls. Subclasses with vectorizable metrics
@@ -88,17 +89,17 @@ class DistanceFunction(ABC):
         self._n_calls += n * (n - 1) // 2
         return self._pairwise(objects)
 
-    def __call__(self, a, b) -> float:
+    def __call__(self, a: Any, b: Any) -> float:
         return self.distance(a, b)
 
     # ------------------------------------------------------------------
     # Implementation hooks (uncounted)
     # ------------------------------------------------------------------
     @abstractmethod
-    def _distance(self, a, b) -> float:
+    def _distance(self, a: Any, b: Any) -> float:
         """Compute ``d(a, b)`` without touching the counter."""
 
-    def _one_to_many(self, obj, objects: Sequence) -> np.ndarray:
+    def _one_to_many(self, obj: Any, objects: Sequence) -> np.ndarray:
         return np.fromiter(
             (self._distance(obj, o) for o in objects),
             dtype=np.float64,
@@ -141,5 +142,5 @@ class FunctionDistance(DistanceFunction):
         self._func = func
         self.name = name
 
-    def _distance(self, a, b) -> float:
+    def _distance(self, a: Any, b: Any) -> float:
         return self._func(a, b)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from collections.abc import Callable, Sequence
+from typing import Any
 
 import numpy as np
 
@@ -67,18 +68,20 @@ class CachedDistance(DistanceFunction):
         self.inner.reset_counter()
         self.n_hits = 0
 
-    def _pair_key(self, a, b) -> tuple:
+    def _pair_key(self, a: Any, b: Any) -> tuple:
         ka, kb = self._key(a), self._key(b)
-        # Symmetric key: order the two halves so d(a,b) and d(b,a) share one slot.
+        # Symmetric key: order the two halves so d(a,b) and d(b,a) share one
+        # slot. Mixed-type keys raise TypeError; numpy-like keys raise
+        # ValueError (elementwise comparison) — canonicalize via repr then.
         try:
             if kb < ka:
                 ka, kb = kb, ka
-        except TypeError:
+        except (TypeError, ValueError):
             if repr(kb) < repr(ka):
                 ka, kb = kb, ka
         return (ka, kb)
 
-    def distance(self, a, b) -> float:
+    def distance(self, a: Any, b: Any) -> float:
         key = self._pair_key(a, b)
         cached = self._cache.get(key)
         if cached is not None:
@@ -91,12 +94,28 @@ class CachedDistance(DistanceFunction):
             self._cache.popitem(last=False)
         return value
 
-    def one_to_many(self, obj, objects: Sequence) -> np.ndarray:
+    def one_to_many(self, obj: Any, objects: Sequence) -> np.ndarray:
         return np.fromiter(
             (self.distance(obj, o) for o in objects),
             dtype=np.float64,
             count=len(objects),
         )
 
-    def _distance(self, a, b) -> float:  # pragma: no cover - bypassed by distance()
-        return self.inner._distance(a, b)
+    def pairwise(self, objects: Sequence) -> np.ndarray:
+        # Route every pair through the cache: the base-class implementation
+        # would call the raw hook, bypassing both memoization and the inner
+        # metric's NCD counter.
+        n = len(objects)
+        out = np.zeros((n, n), dtype=np.float64)
+        for i in range(n):
+            for j in range(i + 1, n):
+                # This IS the all-pairs primitive, so the nested scan is the point.
+                d = self.distance(objects[i], objects[j])  # reprolint: disable=RPL004
+                out[i, j] = d
+                out[j, i] = d
+        return out
+
+    def _distance(self, a: Any, b: Any) -> float:  # pragma: no cover - bypassed by distance()
+        # Wrapper hook-to-hook delegation: counting happens in the inner
+        # metric's public API, which every overridden entry point above uses.
+        return self.inner._distance(a, b)  # reprolint: disable=RPL001

@@ -10,6 +10,8 @@ program, i.e. exactly the kind of expensive ``d`` that motivates BUBBLE-FM.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 from repro.exceptions import MetricError
@@ -18,7 +20,7 @@ from repro.metrics.base import DistanceFunction
 __all__ = ["DiscreteFrechetDistance", "discrete_frechet"]
 
 
-def discrete_frechet(curve_a, curve_b) -> float:
+def discrete_frechet(curve_a: Any, curve_b: Any) -> float:
     """Discrete Fréchet distance between two point sequences.
 
     Parameters
@@ -81,5 +83,5 @@ class DiscreteFrechetDistance(DistanceFunction):
 
     name = "discrete-frechet"
 
-    def _distance(self, a, b) -> float:
+    def _distance(self, a: Any, b: Any) -> float:
         return discrete_frechet(a, b)

@@ -8,6 +8,8 @@ against.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.exceptions import MetricError
 from repro.metrics.base import DistanceFunction
 
@@ -19,7 +21,7 @@ class HammingDistance(DistanceFunction):
 
     name = "hamming"
 
-    def _distance(self, a, b) -> float:
+    def _distance(self, a: Any, b: Any) -> float:
         if len(a) != len(b):
             raise MetricError(
                 f"Hamming distance requires equal lengths, got {len(a)} and {len(b)}"
@@ -32,7 +34,7 @@ class JaccardDistance(DistanceFunction):
 
     name = "jaccard"
 
-    def _distance(self, a, b) -> float:
+    def _distance(self, a: Any, b: Any) -> float:
         sa, sb = set(a), set(b)
         if not sa and not sb:
             return 0.0
@@ -48,5 +50,5 @@ class DiscreteMetric(DistanceFunction):
 
     name = "discrete"
 
-    def _distance(self, a, b) -> float:
+    def _distance(self, a: Any, b: Any) -> float:
         return 0.0 if a == b else 1.0

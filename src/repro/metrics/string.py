@@ -20,6 +20,8 @@ cannot come back below it, so the caller-supplied bound is returned instead.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.exceptions import MetricError, ParameterError
 from repro.metrics.base import DistanceFunction
 
@@ -127,7 +129,7 @@ def damerau_levenshtein(a: str, b: str) -> float:
     return float(prev[lb])
 
 
-def _require_str(x) -> str:
+def _require_str(x: Any) -> str:
     if not isinstance(x, str):
         raise MetricError(f"string metric expects str objects, got {type(x).__name__}")
     return x
@@ -144,7 +146,7 @@ class EditDistance(DistanceFunction):
             raise ParameterError(f"upper_bound must be > 0, got {upper_bound}")
         self.upper_bound = upper_bound
 
-    def _distance(self, a, b) -> float:
+    def _distance(self, a: Any, b: Any) -> float:
         return edit_distance(_require_str(a), _require_str(b), upper_bound=self.upper_bound)
 
 
@@ -169,7 +171,7 @@ class WeightedEditDistance(DistanceFunction):
         self.substitute_cost = float(substitute_cost)
         self.name = f"weighted-edit(indel={indel_cost:g},sub={substitute_cost:g})"
 
-    def _distance(self, a, b) -> float:
+    def _distance(self, a: Any, b: Any) -> float:
         return edit_distance(
             _require_str(a),
             _require_str(b),
@@ -191,7 +193,7 @@ class DamerauLevenshteinDistance(DistanceFunction):
 
     name = "damerau-levenshtein"
 
-    def _distance(self, a, b) -> float:
+    def _distance(self, a: Any, b: Any) -> float:
         return damerau_levenshtein(_require_str(a), _require_str(b))
 
 
@@ -206,7 +208,7 @@ class RelativeEditDistance(DistanceFunction):
 
     name = "relative-edit-distance"
 
-    def _distance(self, a, b) -> float:
+    def _distance(self, a: Any, b: Any) -> float:
         a, b = _require_str(a), _require_str(b)
         longer = max(len(a), len(b))
         if longer == 0:

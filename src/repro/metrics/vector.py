@@ -12,6 +12,7 @@ numpy-backed batch path keeps pure-Python overhead off the critical loop.
 from __future__ import annotations
 
 from collections.abc import Sequence
+from typing import Any
 
 import numpy as np
 
@@ -55,7 +56,7 @@ class MinkowskiDistance(DistanceFunction):
         self.p = float(p)
         self.name = f"minkowski(p={self.p:g})"
 
-    def _distance(self, a, b) -> float:
+    def _distance(self, a: Any, b: Any) -> float:
         va = np.asarray(a, dtype=np.float64)
         vb = np.asarray(b, dtype=np.float64)
         if va.ndim != 1 or vb.ndim != 1:
@@ -69,7 +70,7 @@ class MinkowskiDistance(DistanceFunction):
             return float(diff.sum())
         return float((diff**self.p).sum() ** (1.0 / self.p))
 
-    def _one_to_many(self, obj, objects: Sequence) -> np.ndarray:
+    def _one_to_many(self, obj: Any, objects: Sequence) -> np.ndarray:
         mat = as_matrix(objects)
         vec = np.asarray(obj, dtype=np.float64)
         if vec.ndim != 1:
@@ -122,11 +123,11 @@ class ChebyshevDistance(DistanceFunction):
 
     name = "chebyshev"
 
-    def _distance(self, a, b) -> float:
+    def _distance(self, a: Any, b: Any) -> float:
         diff = np.abs(np.asarray(a, dtype=np.float64) - np.asarray(b, dtype=np.float64))
         return float(diff.max()) if diff.size else 0.0
 
-    def _one_to_many(self, obj, objects: Sequence) -> np.ndarray:
+    def _one_to_many(self, obj: Any, objects: Sequence) -> np.ndarray:
         mat = as_matrix(objects)
         vec = np.asarray(obj, dtype=np.float64)
         return np.abs(mat - vec).max(axis=1)
@@ -143,7 +144,7 @@ class AngularDistance(DistanceFunction):
 
     name = "angular"
 
-    def _distance(self, a, b) -> float:
+    def _distance(self, a: Any, b: Any) -> float:
         va = np.asarray(a, dtype=np.float64)
         vb = np.asarray(b, dtype=np.float64)
         na = float(np.linalg.norm(va))
@@ -153,7 +154,7 @@ class AngularDistance(DistanceFunction):
         cos = float(np.dot(va, vb)) / (na * nb)
         return float(np.arccos(np.clip(cos, -1.0, 1.0)) / np.pi)
 
-    def _one_to_many(self, obj, objects: Sequence) -> np.ndarray:
+    def _one_to_many(self, obj: Any, objects: Sequence) -> np.ndarray:
         mat = as_matrix(objects)
         vec = np.asarray(obj, dtype=np.float64)
         nv = float(np.linalg.norm(vec))
@@ -174,7 +175,7 @@ class CanberraDistance(DistanceFunction):
 
     name = "canberra"
 
-    def _distance(self, a, b) -> float:
+    def _distance(self, a: Any, b: Any) -> float:
         va = np.asarray(a, dtype=np.float64)
         vb = np.asarray(b, dtype=np.float64)
         num = np.abs(va - vb)
@@ -182,7 +183,7 @@ class CanberraDistance(DistanceFunction):
         mask = den > 0
         return float((num[mask] / den[mask]).sum())
 
-    def _one_to_many(self, obj, objects: Sequence) -> np.ndarray:
+    def _one_to_many(self, obj: Any, objects: Sequence) -> np.ndarray:
         mat = as_matrix(objects)
         vec = np.asarray(obj, dtype=np.float64)
         num = np.abs(mat - vec)

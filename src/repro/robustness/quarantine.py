@@ -14,6 +14,7 @@ from __future__ import annotations
 from collections import Counter
 from collections.abc import Iterator
 from dataclasses import dataclass
+from typing import Any
 
 from repro.exceptions import ParameterError, QuarantineOverflowError
 
@@ -52,7 +53,7 @@ class Quarantine:
         self.max_size = max_size
         self._records: list[QuarantinedObject] = []
 
-    def add(self, index: int, obj, error: BaseException | str) -> QuarantinedObject:
+    def add(self, index: int, obj: Any, error: BaseException | str) -> QuarantinedObject:
         """Park one object; raises on overflow *before* storing it."""
         if self.max_size is not None and len(self._records) >= self.max_size:
             raise QuarantineOverflowError(

@@ -36,6 +36,22 @@ def blob_data(rng):
 
 
 @pytest.fixture
+def audit():
+    """Run the full CF*-tree invariant sanitizer, failing the test on errors.
+
+    Usage: ``report = audit(tree)`` — returns the :class:`AuditReport` so
+    tests can additionally inspect warnings.
+    """
+    from repro.analysis.audit import audit_tree
+
+    def _audit(tree, **kwargs):
+        kwargs.setdefault("raise_on_error", True)
+        return audit_tree(tree, **kwargs)
+
+    return _audit
+
+
+@pytest.fixture
 def tiny_strings():
     """A handful of author-name variants in three classes."""
     return (

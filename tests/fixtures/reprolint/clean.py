@@ -1,0 +1,21 @@
+"""Fixture: violates no reprolint rule."""
+
+import math
+
+import numpy as np
+
+__all__ = ["pairwise_sum", "seeded_noise"]
+
+
+def pairwise_sum(metric, objects):
+    # Single loop over a batched call: the sanctioned access pattern.
+    total = 0.0
+    for obj in objects:
+        total += float(metric.one_to_many(obj, objects).sum())
+    return total
+
+
+def seeded_noise(seed, n):
+    rng = np.random.default_rng(seed)
+    values = rng.normal(size=n)
+    return values[np.abs(values) > math.ulp(1.0)]

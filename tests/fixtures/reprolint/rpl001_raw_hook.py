@@ -1,0 +1,32 @@
+"""Fixture: trips RPL001 (raw distance-hook call on a non-self receiver)."""
+
+__all__ = ["bad", "allowed_self", "allowed_super"]
+
+
+def bad(metric, a, b):
+    direct = metric._distance(a, b)  # line 7: violation
+    batch = metric._one_to_many(a, [b])  # line 8: violation
+    return direct, batch
+
+
+class _FakeMetric:
+    def _distance(self, a, b):
+        return 0.0
+
+    def allowed_self(self, a, b):
+        # Hook-to-hook delegation on bare self is allowed.
+        return self._distance(a, b)
+
+
+class _Sub(_FakeMetric):
+    def allowed_super(self, a, b):
+        # super() receivers stay inside the hook layer: allowed.
+        return super()._distance(a, b)
+
+
+def allowed_self(m, a, b):
+    return m.distance(a, b)
+
+
+def allowed_super(m, a, b):
+    return m.one_to_many(a, [b])

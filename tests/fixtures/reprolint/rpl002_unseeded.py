@@ -1,0 +1,25 @@
+"""Fixture: trips RPL002 (unseeded / global-state randomness)."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+__all__ = ["bad", "good"]
+
+
+def bad():
+    g1 = np.random.default_rng()  # violation: no seed
+    g2 = default_rng()  # violation: no seed (from-import)
+    x = np.random.rand(3)  # violation: legacy global state
+    y = random.random()  # violation: stdlib hidden global state
+    z = random.shuffle([1, 2])  # violation
+    return g1, g2, x, y, z
+
+
+def good(seed):
+    g1 = np.random.default_rng(seed)  # seeded: fine
+    g2 = default_rng(seed=seed)  # seeded kwarg: fine
+    g3 = np.random.Generator(np.random.PCG64(seed))  # explicit bit generator: fine
+    r = random.Random(seed)  # seeded stdlib instance: fine
+    return g1, g2, g3, r

@@ -1,0 +1,26 @@
+"""Fixture: trips RPL003 (exact ==/!= on distance values)."""
+
+import math
+
+__all__ = ["bad", "good"]
+
+
+def bad(metric, a, b, dists):
+    d = metric.distance(a, b)
+    if d == 0.0:  # violation: name `d`
+        return True
+    if metric.distance(a, b) != 0.0:  # violation: direct call operand
+        return False
+    if dists[0] == dists[1]:  # violation: subscript of a distance name
+        return True
+    min_dist = min(dists)
+    return min_dist == 0  # violation: `_dist` suffix
+
+
+def good(metric, a, b, count):
+    d = metric.distance(a, b)
+    if math.isclose(d, 0.0, abs_tol=1e-12):  # tolerance: fine
+        return True
+    if count == 0:  # non-distance name: fine
+        return False
+    return d <= 1e-9  # ordering comparisons: fine

@@ -1,0 +1,39 @@
+"""Fixture: trips RPL004 (distance calls >= 2 loops deep)."""
+
+__all__ = ["bad_for_for", "bad_comprehension", "bad_while_for", "good"]
+
+
+def bad_for_for(metric, objects):
+    total = 0.0
+    for a in objects:
+        for b in objects:
+            total += metric.distance(a, b)  # violation: depth 2
+    return total
+
+
+def bad_comprehension(metric, objects):
+    # A double comprehension counts as two loop levels.
+    return [metric.distance(a, b) for a in objects for b in objects]  # violation
+
+
+def bad_while_for(metric, objects):
+    i = 0
+    while i < len(objects):
+        for b in objects:
+            metric.one_to_many(b, objects)  # violation: batch call still nested
+        i += 1
+    return i
+
+
+def good(metric, objects):
+    # Depth 1 is fine; new function scopes reset the loop depth.
+    sums = []
+    for a in objects:
+        sums.append(metric.one_to_many(a, objects).sum())
+
+    def helper(x):
+        return metric.distance(x, objects[0])
+
+    for a in objects:
+        sums.append(helper(a))
+    return sums

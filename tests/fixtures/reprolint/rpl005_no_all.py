@@ -1,0 +1,8 @@
+"""Fixture: trips RPL005 (public module without __all__)."""
+
+
+def public_function():
+    return 1
+
+
+CONSTANT = 2

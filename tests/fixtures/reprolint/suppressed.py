@@ -1,0 +1,17 @@
+"""Fixture: violations silenced by reprolint suppression comments."""
+
+__all__ = ["suppressed_hook", "suppressed_eq", "unsuppressed"]
+
+
+def suppressed_hook(metric, a, b):
+    return metric._distance(a, b)  # reprolint: disable=RPL001 -- test fixture
+
+
+def suppressed_eq(metric, a, b):
+    d = metric.distance(a, b)
+    return d == 0.0  # reprolint: disable=all
+
+
+def unsuppressed(metric, a, b):
+    # The suppression on line 7 must not leak to this line.
+    return metric._distance(a, b)

@@ -1,0 +1,201 @@
+"""Tests for the CF*-tree invariant sanitizer (``repro.analysis.audit``).
+
+Healthy trees — BUBBLE and BUBBLE-FM, before and after rebuilds and
+checkpoint round-trips — must audit clean; seeded corruptions (swapped
+clustroid, over-branched node, stale RowSum) must be caught and named.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import BUBBLE, BUBBLEFM, EuclideanDistance
+from repro.analysis.audit import AuditReport, audit_tree
+from repro.core.bubble import BubblePolicy
+from repro.core.cftree import CFTree
+from repro.exceptions import ParameterError, TreeInvariantError
+from repro.persistence import load_checkpoint, save_checkpoint
+
+
+@pytest.fixture
+def points(rng):
+    return list(rng.normal(size=(400, 2)))
+
+
+def fitted_bubble(points, **kw):
+    kw.setdefault("max_nodes", 20)
+    kw.setdefault("seed", 7)
+    return BUBBLE(EuclideanDistance(), **kw).fit(points)
+
+
+def corruptible_feature(tree):
+    """A leaf CF* whose clustroid corruption is actually observable:
+    several representatives with distinct RowSums."""
+    for f in tree.leaf_features():
+        if len(f._rowsums) >= 3 and max(f._rowsums) > min(f._rowsums) + 1e-6:
+            return f
+    raise AssertionError("fixture tree has no multi-representative feature")
+
+
+def first_leaf(tree):
+    node = tree.root
+    while not node.is_leaf:
+        node = node.entries[0].child
+    return node
+
+
+# ----------------------------------------------------------------------
+# Healthy trees audit clean
+# ----------------------------------------------------------------------
+class TestHealthyTrees:
+    def test_bubble_tree_passes(self, points, audit):
+        model = fitted_bubble(points)
+        report = audit(model.tree_)
+        assert isinstance(report, AuditReport)
+        assert report.ok and report.errors == []
+
+    def test_bubble_fm_tree_passes(self, points, audit):
+        model = BUBBLEFM(
+            EuclideanDistance(), max_nodes=20, image_dim=2, seed=7
+        ).fit(points)
+        assert audit(model.tree_).ok
+
+    def test_passes_across_rebuilds(self, points, audit):
+        model = fitted_bubble(points, max_nodes=10)
+        assert model.tree_.n_rebuilds > 0  # small tree forces threshold raises
+        assert audit(model.tree_).ok
+
+    def test_passes_after_checkpoint_resume(self, points, audit, tmp_path):
+        path = tmp_path / "scan.ckpt"
+        model = BUBBLE(EuclideanDistance(), max_nodes=20, seed=7)
+        model.partial_fit(points[:250])
+        save_checkpoint(path, model.tree_, cursor=250)
+        ck = load_checkpoint(path, metric=EuclideanDistance())
+        assert audit(ck.tree).ok
+
+        resumed = BUBBLE(EuclideanDistance(), max_nodes=20, seed=7)
+        resumed.fit(points, resume_from=path)
+        assert audit(resumed.tree_).ok
+
+    def test_audit_is_ncd_neutral(self, points):
+        model = fitted_bubble(points)
+        metric = model.tree_.policy.metric
+        before = metric.n_calls
+        audit_tree(model.tree_, recompute_exact=True)
+        assert metric.n_calls == before
+
+
+# ----------------------------------------------------------------------
+# Seeded corruptions are caught
+# ----------------------------------------------------------------------
+class TestCorruptions:
+    def test_swapped_clustroid_detected(self, points):
+        model = fitted_bubble(points)
+        feature = corruptible_feature(model.tree_)
+        feature._clustroid_idx = int(np.argmax(feature._rowsums))
+        with pytest.raises(TreeInvariantError, match="clustroid"):
+            audit_tree(model.tree_)
+        report = audit_tree(model.tree_, raise_on_error=False)
+        assert any(i.check == "clustroid" for i in report.errors)
+
+    def test_stale_rowsum_detected(self, points):
+        model = fitted_bubble(points)
+        feature = corruptible_feature(model.tree_)
+        feature._rowsums = feature._rowsums.copy()
+        feature._rowsums[feature._clustroid_idx] += 1000.0
+        with pytest.raises(TreeInvariantError):
+            audit_tree(model.tree_)
+        report = audit_tree(model.tree_, raise_on_error=False)
+        assert any(i.check in ("rowsum-stale", "clustroid", "radius") for i in report.errors)
+
+    def test_overbranched_node_detected(self, points):
+        model = fitted_bubble(points)
+        tree = model.tree_
+        leaf = first_leaf(tree)
+        donor = corruptible_feature(tree)
+        while len(leaf.entries) <= tree.branching_factor:
+            leaf.entries.append(donor)
+        report = audit_tree(tree, raise_on_error=False)
+        assert any(i.check == "branching" for i in report.errors)
+        with pytest.raises(TreeInvariantError):
+            audit_tree(tree)
+
+    def test_error_names_offending_path(self, points):
+        model = fitted_bubble(points)
+        feature = corruptible_feature(model.tree_)
+        feature._clustroid_idx = int(np.argmax(feature._rowsums))
+        report = audit_tree(model.tree_, raise_on_error=False)
+        bad = next(i for i in report.errors if i.check == "clustroid")
+        assert bad.path.startswith("root")
+        assert "entry[" in bad.path
+
+    def test_bad_threshold_detected(self, points):
+        model = fitted_bubble(points)
+        model.tree_.threshold = float("nan")
+        report = audit_tree(model.tree_, raise_on_error=False)
+        assert any(i.check == "threshold" for i in report.errors)
+
+
+# ----------------------------------------------------------------------
+# validate="debug" wiring
+# ----------------------------------------------------------------------
+class TestValidateDebug:
+    def test_rejects_unknown_mode(self):
+        policy = BubblePolicy(EuclideanDistance())
+        with pytest.raises(ParameterError):
+            CFTree(policy, validate="paranoid")
+
+    def test_debug_build_audits_after_splits(self, points):
+        model = BUBBLE(EuclideanDistance(), max_nodes=20, seed=7, validate="debug")
+        model.fit(points[:200])
+        assert model.tree_.validate == "debug"
+        assert model.tree_.height > 1  # splits happened, so audits ran
+
+    def test_debug_catches_corruption_on_next_split(self, rng):
+        metric = EuclideanDistance()
+        policy = BubblePolicy(metric, representation_number=4, sample_size=10, seed=0)
+        tree = CFTree(policy, branching_factor=4, threshold=0.0, seed=0, validate="debug")
+        pts = rng.normal(size=(200, 2))
+        with pytest.raises(TreeInvariantError):
+            for i, p in enumerate(pts):
+                tree.insert(p)
+                if i == 60:
+                    assert tree.height > 1
+                    # Any invariant break works; object-count is shape-agnostic.
+                    tree.leaf_features()[0].n += 5
+
+    def test_bubble_fm_forwards_validate(self, points):
+        model = BUBBLEFM(
+            EuclideanDistance(), max_nodes=20, image_dim=2, seed=7, validate="debug"
+        ).fit(points[:200])
+        assert model.tree_.validate == "debug"
+
+
+# ----------------------------------------------------------------------
+# Property: random datasets always build audit-clean trees
+# ----------------------------------------------------------------------
+class TestProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        n=st.integers(min_value=30, max_value=250),
+        max_nodes=st.sampled_from([8, 16, 32]),
+    )
+    def test_bubble_always_audits_clean(self, seed, n, max_nodes):
+        data = list(np.random.default_rng(seed).normal(size=(n, 2)))
+        model = BUBBLE(EuclideanDistance(), max_nodes=max_nodes, seed=seed).fit(data)
+        report = audit_tree(model.tree_, raise_on_error=False)
+        assert report.errors == [], report.format()
+
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_bubble_fm_always_audits_clean(self, seed):
+        data = list(np.random.default_rng(seed).normal(size=(150, 3)))
+        model = BUBBLEFM(
+            EuclideanDistance(), max_nodes=16, image_dim=2, seed=seed
+        ).fit(data)
+        report = audit_tree(model.tree_, raise_on_error=False)
+        assert report.errors == [], report.format()

@@ -159,3 +159,42 @@ class TestLogging:
                 list(rng.uniform(0, 100, size=(400, 2)))
             )
         assert any("rebuild #" in r.message for r in caplog.records)
+
+
+class TestAuditVerb:
+    def _make_checkpoint(self, tmp_path):
+        from repro import BUBBLE
+        from repro.metrics import EuclideanDistance
+        from repro.persistence import save_checkpoint
+
+        rng = np.random.default_rng(4)
+        model = BUBBLE(EuclideanDistance(), max_nodes=15, seed=4)
+        model.partial_fit(list(rng.normal(size=(200, 2))))
+        path = tmp_path / "scan.ckpt"
+        save_checkpoint(path, model.tree_, cursor=200)
+        return path, model
+
+    def test_clean_checkpoint_exits_zero(self, tmp_path, capsys):
+        path, _ = self._make_checkpoint(tmp_path)
+        assert main(["audit", str(path), "--type", "vectors"]) == 0
+        out = capsys.readouterr().out
+        assert "audit:" in out
+        assert "0 error(s)" in out
+
+    def test_corrupt_checkpoint_exits_one(self, tmp_path, capsys):
+        from repro.persistence import save_checkpoint
+
+        path, model = self._make_checkpoint(tmp_path)
+        model.tree_.leaf_features()[0].n += 7  # break object-count accounting
+        save_checkpoint(path, model.tree_, cursor=200)
+        assert main(["audit", str(path), "--type", "vectors"]) == 1
+        out = capsys.readouterr().out
+        assert "error" in out
+
+    def test_missing_checkpoint_exits_two(self, tmp_path, capsys):
+        assert main(["audit", str(tmp_path / "nope.ckpt"), "--type", "vectors"]) == 2
+
+    def test_lint_verb_dispatch(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text('"""Doc."""\n\n__all__ = ["X"]\n\nX = 1\n')
+        assert main(["lint", str(clean)]) == 0

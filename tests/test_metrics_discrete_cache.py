@@ -105,3 +105,83 @@ class TestCachedDistance:
         assert m.distance(a, b) == pytest.approx(5.0)
         assert m.distance(a, b) == pytest.approx(5.0)
         assert inner.n_calls == 1
+
+
+class TestCachedDistanceAccounting:
+    """Regression tests: symmetric canonicalization and exact hit/miss counts."""
+
+    def test_symmetric_pairs_share_one_slot(self):
+        m = CachedDistance(EditDistance())
+        assert m.distance("kitten", "sitting") == m.distance("sitting", "kitten")
+        assert m.n_calls == 1
+        assert m.n_hits == 1
+        assert len(m._cache) == 1
+
+    def test_pairwise_routes_through_cache(self):
+        m = CachedDistance(EditDistance())
+        objs = ["ab", "abc", "abcd", "b"]
+        first = m.pairwise(objs)
+        n_pairs = len(objs) * (len(objs) - 1) // 2
+        assert m.n_calls == n_pairs  # one true evaluation per unordered pair
+        assert m.n_hits == 0
+        second = m.pairwise(objs)
+        assert np.array_equal(first, second)
+        assert m.n_calls == n_pairs  # fully served from cache
+        assert m.n_hits == n_pairs
+        assert np.allclose(first, first.T)
+        assert np.all(np.diag(first) == 0.0)
+
+    def test_pairwise_counts_inner_metric_calls(self):
+        # The base-class fallback used the raw hook, leaving the inner
+        # counter at zero; the override must keep NCD accounting honest.
+        inner = EditDistance()
+        m = CachedDistance(inner)
+        m.pairwise(["x", "xy", "xyz"])
+        assert inner.n_calls == 3
+
+    def test_one_to_many_then_pairwise_shares_cache(self):
+        m = CachedDistance(EditDistance())
+        objs = ["a", "ab", "abc"]
+        m.one_to_many("a", objs)  # caches (a,a), (a,ab), (a,abc)
+        assert m.n_calls == 3
+        m.pairwise(objs)  # only (ab,abc) is new
+        assert m.n_calls == 4
+        assert m.n_hits == 2
+
+    def test_unorderable_keys_still_canonicalized(self):
+        # Keys whose ordering comparison raises (numpy-style ValueError)
+        # must fall back to repr ordering, not lose symmetry.
+        class AmbiguousKey:
+            def __init__(self, payload):
+                self.payload = payload
+
+            def __hash__(self):
+                return hash(self.payload)
+
+            def __eq__(self, other):
+                return self.payload == other.payload
+
+            def __lt__(self, other):
+                raise ValueError("truth value is ambiguous")
+
+            def __repr__(self):
+                return f"AmbiguousKey({self.payload!r})"
+
+        from repro.metrics import EuclideanDistance
+
+        m = CachedDistance(EuclideanDistance(), key=lambda v: AmbiguousKey(v.tobytes()))
+        a, b = np.array([0.0, 0.0]), np.array([3.0, 4.0])
+        assert m.distance(a, b) == pytest.approx(5.0)
+        assert m.distance(b, a) == pytest.approx(5.0)
+        assert m.n_calls == 1
+        assert m.n_hits == 1
+
+    def test_mixed_type_keys_still_canonicalized(self):
+        from repro.metrics import FunctionDistance
+
+        inner = FunctionDistance(lambda a, b: abs(float(a) - float(b)), name="absdiff")
+        m = CachedDistance(inner)
+        assert m.distance(1, "2") == 1.0  # int vs str: `<` raises TypeError
+        assert m.distance("2", 1) == 1.0
+        assert m.n_calls == 1
+        assert m.n_hits == 1
