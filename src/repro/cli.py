@@ -14,7 +14,14 @@ And the analysis commands (see ``docs/analysis.md``):
 
 * ``lint`` — run **reprolint**, the project-specific static analyzer;
 * ``audit`` — load a scan checkpoint and run the CF*-tree invariant
-  sanitizer over it.
+  sanitizer over it;
+* ``stats`` — load a scan checkpoint and print its
+  :class:`~repro.observability.StatsSnapshot` (tree shape, threshold,
+  M-pressure).
+
+``cluster`` and ``authority`` accept ``--trace PATH`` to stream a JSONL
+phase trace (see ``docs/observability.md``) and print an end-of-run
+NCD-by-site summary.
 
 The CLI is a thin veneer over the library; every option maps 1:1 onto an
 API parameter documented there.
@@ -88,6 +95,10 @@ def _build_parser() -> argparse.ArgumentParser:
     clu.add_argument("--image-dim", type=int, default=3)
     clu.add_argument("--output", help="write one label per input line here")
     clu.add_argument("--seed", type=int, default=0)
+    clu.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="stream a JSONL phase trace here and print an NCD-by-site summary",
+    )
     fault = clu.add_argument_group("fault tolerance")
     fault.add_argument(
         "--on-error", choices=["raise", "quarantine"], default="raise",
@@ -129,6 +140,10 @@ def _build_parser() -> argparse.ArgumentParser:
     auth.add_argument("--image-dim", type=int, default=3)
     auth.add_argument("--assignment", choices=["tree", "linear"], default="tree")
     auth.add_argument("--seed", type=int, default=0)
+    auth.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="stream a JSONL phase trace here and print an NCD-by-site summary",
+    )
 
     ev = sub.add_parser(
         "evaluate", help="score predicted labels against ground truth"
@@ -156,7 +171,41 @@ def _build_parser() -> argparse.ArgumentParser:
         "--show-warnings", action="store_true",
         help="also print warning-severity findings (drift diagnostics)",
     )
+
+    st = sub.add_parser(
+        "stats", help="print tree/NCD statistics of a scan checkpoint"
+    )
+    st.add_argument("checkpoint", help="checkpoint file written during a scan")
+    st.add_argument("--type", choices=["vectors", "strings"], required=True)
+    st.add_argument("--metric", default=None,
+                    help="euclidean|manhattan (vectors), edit|damerau (strings)")
+    st.add_argument(
+        "--json", action="store_true",
+        help="emit the snapshot as one JSON object instead of a table",
+    )
     return parser
+
+
+def _make_tracer(trace_path: str | None):
+    """A JSONL-streaming tracer for ``--trace PATH``, or the no-op default."""
+    from repro.observability import NULL_TRACER, JsonlSink, Tracer
+
+    if trace_path is None:
+        return NULL_TRACER
+    return Tracer(sinks=[JsonlSink(trace_path)])
+
+
+def _finish_trace(tracer, trace_path: str | None) -> None:
+    """Flush the trace file and print the NCD-by-site summary table."""
+    from repro.observability import format_summary
+
+    if not tracer.enabled:
+        return
+    summary = tracer.summary()
+    tracer.close()
+    print("--- trace summary ---")
+    print(format_summary(summary))
+    print(f"trace written to {trace_path}")
 
 
 def _make_metric(kind: str, name: str | None):
@@ -235,6 +284,7 @@ def _cmd_cluster(args) -> int:
     )
 
     n_clusters = args.n_clusters if args.n_clusters is not None else 0
+    tracer = _make_tracer(args.trace)
     try:
         result = cluster_dataset(
             objects,
@@ -250,16 +300,20 @@ def _cmd_cluster(args) -> int:
             checkpoint_path=args.checkpoint,
             checkpoint_every=args.checkpoint_every,
             resume_from=args.resume_from,
+            tracer=tracer,
         )
     except (MetricBudgetExceededError, DeadlineExceededError, QuarantineOverflowError) as exc:
+        tracer.close()
         print(f"error: scan aborted: {exc}", file=sys.stderr)
         if args.checkpoint:
             print(f"resume with --resume-from {args.checkpoint}", file=sys.stderr)
         return 3
     except (CheckpointError, ParameterError) as exc:
+        tracer.close()
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except FileNotFoundError as exc:
+        tracer.close()
         print(f"error: cannot read checkpoint: {exc}", file=sys.stderr)
         return 2
     labels = result.labels
@@ -282,6 +336,7 @@ def _cmd_cluster(args) -> int:
                 f"{name}: {n}" for name, n in sorted(quarantine.counts_by_error().items())
             )
             print(f"quarantine by error: {counts}")
+    _finish_trace(tracer, args.trace)
     if args.output:
         with open(args.output, "w", encoding="ascii") as f:
             for lab in labels:
@@ -295,19 +350,26 @@ def _cmd_authority(args) -> int:
     if not records:
         print("error: input file holds no records", file=sys.stderr)
         return 2
-    af = build_authority_file(
-        records,
-        threshold=args.threshold,
-        image_dim=args.image_dim,
-        assignment=args.assignment,
-        seed=args.seed,
-    )
+    tracer = _make_tracer(args.trace)
+    try:
+        af = build_authority_file(
+            records,
+            threshold=args.threshold,
+            image_dim=args.image_dim,
+            assignment=args.assignment,
+            seed=args.seed,
+            tracer=tracer,
+        )
+    except Exception:
+        tracer.close()
+        raise
     with open(args.output, "w", encoding="utf-8") as f:
         for canonical, members in zip(af.canonical, af.members):
             for member in members:
                 f.write(f"{canonical}\t{member}\n")
     print(f"{len(records)} records -> {af.n_classes} classes "
           f"({af.n_distance_calls} distance calls, {af.seconds:.2f}s)")
+    _finish_trace(tracer, args.trace)
     print(f"authority file written to {args.output}")
     return 0
 
@@ -386,6 +448,44 @@ def _cmd_audit(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_stats(args) -> int:
+    import json as _json
+
+    from repro.core.cftree import CFTree
+    from repro.exceptions import CheckpointError
+    from repro.observability import StatsSnapshot
+    from repro.persistence import load_checkpoint
+
+    metric = _make_metric(args.type, args.metric)
+    if metric is None:
+        return 2
+    try:
+        ck = load_checkpoint(args.checkpoint, metric=metric)
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: cannot read checkpoint: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(ck.tree, CFTree):
+        print("error: checkpoint does not hold a CF*-tree", file=sys.stderr)
+        return 2
+    snapshot = StatsSnapshot.from_tree(ck.tree, metric=metric)
+    # The freshly attached metric has counted nothing; the scan's NCD lives
+    # in the checkpointed ingest report.
+    report = ck.state.get("report") or {}
+    snapshot.ncd_total = int(report.get("n_distance_calls", snapshot.ncd_total))
+    algorithm = ck.metadata.get("algorithm", "?")
+    if args.json:
+        doc = {"algorithm": algorithm, "cursor": ck.cursor}
+        doc.update(snapshot.to_dict())
+        print(_json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(f"checkpoint: {algorithm} at cursor {ck.cursor}")
+        print(snapshot.format())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     arg_list = list(sys.argv[1:] if argv is None else argv)
@@ -404,6 +504,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_evaluate(args)
     if args.command == "audit":
         return _cmd_audit(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
     return _cmd_authority(args)
 
 

@@ -28,7 +28,7 @@ from repro.core.features import (
 from repro.core.nodes import LeafNode, NonLeafNode
 from repro.core.policy import BirchStarPolicy
 from repro.exceptions import ParameterError, TreeInvariantError
-from repro.metrics.base import DistanceFunction
+from repro.metrics.base import DistanceFunction, pop_site, push_site
 from repro.utils.rng import ensure_rng
 from repro.utils.sampling import sample_without_replacement
 from repro.utils.validation import check_integer
@@ -88,7 +88,11 @@ class BubblePolicy(BirchStarPolicy):
 
     def leaf_distances(self, node: LeafNode, obj: Any) -> np.ndarray:
         clustroids = [feature.clustroid for feature in node.entries]
-        return self.metric.one_to_many(obj, clustroids)
+        push_site("leaf-d0")
+        try:
+            return self.metric.one_to_many(obj, clustroids)
+        finally:
+            pop_site()
 
     def leaf_entry_distance(self, a: Any, b: Any) -> float:
         return self.metric.distance(a.clustroid, b.clustroid)
@@ -101,7 +105,11 @@ class BubblePolicy(BirchStarPolicy):
     # ------------------------------------------------------------------
     def nonleaf_distances(self, node: NonLeafNode, obj: Any) -> np.ndarray:
         cache = self._node_cache(node)
-        dists = self.metric.one_to_many(obj, cache.flat)
+        push_site("nonleaf-d2")
+        try:
+            dists = self.metric.one_to_many(obj, cache.flat)
+        finally:
+            pop_site()
         sq = dists**2
         offsets = cache.offsets
         out = np.empty(len(node.entries), dtype=np.float64)
@@ -125,17 +133,18 @@ class BubblePolicy(BirchStarPolicy):
 
     def refresh_node(self, node: NonLeafNode) -> None:
         """Redraw sample objects for every entry of ``node`` (Section 4.2.2)."""
-        entry_sizes = [len(entry.child.entries) for entry in node.entries]
-        total = sum(entry_sizes)
-        flat: list = []
-        offsets = [0]
-        for entry, n_i in zip(node.entries, entry_sizes):
-            quota = max((n_i * self.sample_size) // max(total, 1), 1)
-            pool = self._sample_pool(entry.child)
-            entry.summary = sample_without_replacement(pool, quota, self._rng)
-            flat.extend(entry.summary)
-            offsets.append(len(flat))
-        node.aux = _SampleCache(flat, np.asarray(offsets, dtype=np.intp))
+        with self.tracer.span("sample-refresh"):
+            entry_sizes = [len(entry.child.entries) for entry in node.entries]
+            total = sum(entry_sizes)
+            flat: list = []
+            offsets = [0]
+            for entry, n_i in zip(node.entries, entry_sizes):
+                quota = max((n_i * self.sample_size) // max(total, 1), 1)
+                pool = self._sample_pool(entry.child)
+                entry.summary = sample_without_replacement(pool, quota, self._rng)
+                flat.extend(entry.summary)
+                offsets.append(len(flat))
+            node.aux = _SampleCache(flat, np.asarray(offsets, dtype=np.intp))
 
     def _sample_pool(self, child: Any) -> list:
         """Objects a non-leaf entry may sample from: the child's clustroids

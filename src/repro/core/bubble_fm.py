@@ -32,7 +32,7 @@ from repro.core.nodes import NonLeafNode
 from repro.exceptions import ParameterError
 from repro.fastmap import FastMap
 from repro.fastmap.landmark import LandmarkMDS
-from repro.metrics.base import DistanceFunction
+from repro.metrics.base import DistanceFunction, pop_site, push_site
 from repro.utils.validation import check_integer
 
 __all__ = ["BubbleFMPolicy"]
@@ -125,7 +125,12 @@ class BubbleFMPolicy(BubblePolicy):
             node.aux = _FMSampleCache(flat, offsets, None, None, None)
             return
         mapper = self._make_mapper()
-        images = mapper.fit(flat)
+        with self.tracer.span("fastmap-refit"):
+            push_site("fastmap-refit")
+            try:
+                images = mapper.fit(flat)
+            finally:
+                pop_site()
         self.n_fastmap_fits += 1
         centroids = np.empty((len(node.entries), self.image_dim), dtype=np.float64)
         for i in range(len(node.entries)):
@@ -180,7 +185,11 @@ class BubbleFMPolicy(BubblePolicy):
         cache = self._node_cache(node)
         if getattr(cache, "mapper", None) is None:
             return super().nonleaf_distances(node, obj)
-        image = cache.mapper.transform(obj)  # exactly 2k distance calls
+        push_site("fastmap-map")
+        try:
+            image = cache.mapper.transform(obj)  # exactly 2k distance calls
+        finally:
+            pop_site()
         diff = cache.centroids - image
         return np.sqrt(np.einsum("ij,ij->i", diff, diff))
 

@@ -29,6 +29,7 @@ from repro.core.nodes import LeafNode, NonLeafEntry, NonLeafNode
 from repro.core.policy import BirchStarPolicy
 from repro.core.threshold import suggest_next_threshold
 from repro.exceptions import ParameterError, TreeInvariantError
+from repro.observability import NULL_TRACER, NullTracer
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_integer, check_positive
 
@@ -54,6 +55,10 @@ class CFTree:
         its own cluster until the first rebuild, as in BIRCH.
     seed:
         Seed/generator for the threshold heuristic's leaf sampling.
+    tracer:
+        A :class:`repro.observability.Tracer` recording phase spans
+        (``insert``, ``split``, ``rebuild``) and NCD attribution. Defaults
+        to the no-op :data:`~repro.observability.NULL_TRACER`.
     validate:
         ``None`` (default) for no runtime checking; ``"debug"`` runs the
         full invariant sanitizer (:func:`repro.analysis.audit.audit_tree`)
@@ -71,6 +76,7 @@ class CFTree:
         threshold: float = 0.0,
         outlier_fraction: float | None = None,
         seed: int | np.random.Generator | None = None,
+        tracer: NullTracer = NULL_TRACER,
         validate: str | None = None,
     ):
         if not isinstance(policy, BirchStarPolicy):
@@ -99,6 +105,7 @@ class CFTree:
         if validate not in (None, "debug"):
             raise ParameterError(f'validate must be None or "debug", got {validate!r}')
         self.validate = validate
+        self.tracer = tracer
         self._rng = ensure_rng(seed)
         self.root: LeafNode | NonLeafNode = LeafNode()
         self.n_nodes = 1
@@ -111,11 +118,12 @@ class CFTree:
     # ------------------------------------------------------------------
     def insert(self, obj: Any) -> None:
         """Type I insertion of a single object; may trigger a rebuild."""
-        self._insert_top(None, obj)
-        self.n_objects += 1
-        if self.max_nodes is not None:
-            while self.n_nodes > self.max_nodes:
-                self.rebuild(suggest_next_threshold(self, self._rng))
+        with self.tracer.span("insert"):
+            self._insert_top(None, obj)
+            self.n_objects += 1
+            if self.max_nodes is not None:
+                while self.n_nodes > self.max_nodes:
+                    self.rebuild(suggest_next_threshold(self, self._rng))
         if self.validate is not None and self._split_since_audit:
             self._audit()
 
@@ -203,7 +211,8 @@ class CFTree:
         return group_a, group_b
 
     def _split_leaf(self, node: LeafNode) -> tuple[LeafNode, LeafNode]:
-        dm = self.policy.leaf_entry_matrix(node.entries)
+        with self.tracer.span("split"):
+            dm = self.policy.leaf_entry_matrix(node.entries)
         group_a, group_b = self._partition_by_seeds(dm)
         left = LeafNode([node.entries[i] for i in group_a])
         right = LeafNode([node.entries[i] for i in group_b])
@@ -212,7 +221,8 @@ class CFTree:
         return left, right
 
     def _split_nonleaf(self, node: NonLeafNode) -> tuple[NonLeafNode, NonLeafNode]:
-        dm = self.policy.nonleaf_entry_distances(node)
+        with self.tracer.span("split"):
+            dm = self.policy.nonleaf_entry_distances(node)
         group_a, group_b = self._partition_by_seeds(dm)
         left = NonLeafNode([node.entries[i] for i in group_a])
         right = NonLeafNode([node.entries[i] for i in group_b])
@@ -242,6 +252,12 @@ class CFTree:
                 f"rebuild threshold must exceed the current one "
                 f"({new_threshold} <= {self.threshold})"
             )
+        with self.tracer.span("rebuild"):
+            self._rebuild(new_threshold)
+        if self.validate is not None:
+            self._audit()
+
+    def _rebuild(self, new_threshold: float) -> None:
         features = self.leaf_features()
         if self.outlier_fraction is not None and features:
             average = sum(f.n for f in features) / len(features)
@@ -272,8 +288,6 @@ class CFTree:
             self.n_nodes,
             self.n_clusters,
         )
-        if self.validate is not None:
-            self._audit()
 
     def reabsorb_outliers(self) -> int:
         """Re-insert all parked outlier clusters; returns how many.

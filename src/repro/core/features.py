@@ -37,7 +37,7 @@ from typing import Any
 import numpy as np
 
 from repro.exceptions import ParameterError
-from repro.metrics.base import DistanceFunction
+from repro.metrics.base import DistanceFunction, pop_site, push_site
 
 __all__ = [
     "ClusterFeature",
@@ -192,7 +192,11 @@ class BubbleClusterFeature(ClusterFeature):
         in a single ``one_to_many`` call, so a precomputed value is not
         reused.
         """
-        dists = self.metric.one_to_many(obj, self._reps)
+        push_site("leaf-update")
+        try:
+            dists = self.metric.one_to_many(obj, self._reps)
+        finally:
+            pop_site()
         sq = dists**2
         if self.exact:
             rowsum_new = float(sq.sum())
@@ -244,8 +248,12 @@ class BubbleClusterFeature(ClusterFeature):
         r1_sq, r2_sq = self.radius**2, other.radius**2
         c1, c2 = self.clustroid, other.clustroid
         # d(o, other's clustroid) for each of our candidates, and vice versa.
-        d_to_c2 = self.metric.one_to_many(c2, self._reps)
-        d_to_c1 = self.metric.one_to_many(c1, other._reps)
+        push_site("leaf-update")
+        try:
+            d_to_c2 = self.metric.one_to_many(c2, self._reps)
+            d_to_c1 = self.metric.one_to_many(c1, other._reps)
+        finally:
+            pop_site()
 
         cand_objs = list(self._reps) + list(other._reps)
         cand_rows = [
@@ -271,9 +279,13 @@ class BubbleClusterFeature(ClusterFeature):
     def _merge_exact(self, other: "BubbleClusterFeature") -> None:
         """Exact merge: both member lists are complete, so recompute RowSums
         from the full cross-distance matrix (``n1 * n2`` calls)."""
-        cross = np.array(
-            [self.metric.one_to_many(a, other._reps) for a in self._reps]
-        ).reshape(len(self._reps), len(other._reps))
+        push_site("leaf-update")
+        try:
+            cross = np.array(
+                [self.metric.one_to_many(a, other._reps) for a in self._reps]
+            ).reshape(len(self._reps), len(other._reps))
+        finally:
+            pop_site()
         cross_sq = cross**2
         new_rowsums_self = [
             rs + float(cross_sq[i].sum()) for i, rs in enumerate(self._rowsums)

@@ -38,6 +38,7 @@ from repro.exceptions import (
     TreeInvariantError,
 )
 from repro.metrics.base import DistanceFunction
+from repro.observability import NULL_TRACER, NullTracer
 from repro.robustness.report import IngestReport
 from repro.robustness.quarantine import Quarantine
 from repro.utils.rng import ensure_rng
@@ -83,6 +84,11 @@ class PreClusterer:
         paper's setting) disables it.
     seed:
         Seed or generator for all stochastic choices (sampling, pivots).
+    tracer:
+        A :class:`repro.observability.Tracer` recording phase spans and
+        per-site NCD attribution for every scan this model runs. The
+        default no-op :data:`~repro.observability.NULL_TRACER` adds no
+        overhead (and no extra distance calls).
     validate:
         ``"debug"`` audits every split/rebuild with the invariant
         sanitizer (:func:`repro.analysis.audit.audit_tree`); ``None``
@@ -99,9 +105,11 @@ class PreClusterer:
         threshold: float = 0.0,
         outlier_fraction: float | None = None,
         seed: int | np.random.Generator | None = None,
+        tracer: NullTracer = NULL_TRACER,
         validate: str | None = None,
     ):
         self.metric = metric
+        self.tracer = tracer
         self.branching_factor = branching_factor
         self.sample_size = sample_size
         self.representation_number = representation_number
@@ -182,7 +190,8 @@ class PreClusterer:
             raise EmptyDatasetError("fit requires at least one object")
         if self.outlier_fraction is not None:
             finish = time.perf_counter()
-            self.tree_.reabsorb_outliers()
+            with self.tracer.activation():
+                self.tree_.reabsorb_outliers()
             self.ingest_report_.elapsed_seconds += time.perf_counter() - finish
         self._sync_report()
         return self
@@ -223,6 +232,7 @@ class PreClusterer:
         start = time.perf_counter()
         if self.tree_ is None:
             policy = self._make_policy()
+            policy.tracer = self.tracer
             self.tree_ = CFTree(
                 policy,
                 branching_factor=self.branching_factor,
@@ -230,24 +240,31 @@ class PreClusterer:
                 threshold=self.initial_threshold,
                 outlier_fraction=self.outlier_fraction,
                 seed=self._rng,
+                tracer=self.tracer,
                 validate=self.validate,
             )
+        elif self.tree_.tracer is not self.tracer:
+            # A tree restored from a checkpoint carries the no-op tracer;
+            # re-attach this model's so the resumed scan is traced too.
+            self.tree_.tracer = self.tracer
+            self.tree_.policy.tracer = self.tracer
         if max_quarantine is not None and self.quarantine_.max_size is None:
             self.quarantine_.max_size = max_quarantine
         tree = self.tree_
         report = self.ingest_report_
         try:
-            for obj in objects:
-                index = self._cursor
-                self._cursor += 1
-                report.n_seen += 1
-                if on_error == "raise":
-                    tree.insert(obj)
-                    report.n_inserted += 1
-                else:
-                    self._insert_or_quarantine(obj, index)
-                if checkpoint_path is not None and self._cursor % checkpoint_every == 0:
-                    self._write_checkpoint(checkpoint_path)
+            with self.tracer.activation():
+                for obj in objects:
+                    index = self._cursor
+                    self._cursor += 1
+                    report.n_seen += 1
+                    if on_error == "raise":
+                        tree.insert(obj)
+                        report.n_inserted += 1
+                    else:
+                        self._insert_or_quarantine(obj, index)
+                    if checkpoint_path is not None and self._cursor % checkpoint_every == 0:
+                        self._write_checkpoint(checkpoint_path)
         finally:
             report.elapsed_seconds += time.perf_counter() - start
             self._sync_report()
@@ -340,7 +357,8 @@ class PreClusterer:
         """End a :meth:`partial_fit` stream: re-absorb parked outliers."""
         tree = self._require_tree()
         if self.outlier_fraction is not None:
-            tree.reabsorb_outliers()
+            with self.tracer.activation():
+                tree.reabsorb_outliers()
         return self
 
     def summary(self) -> dict:
@@ -412,31 +430,32 @@ class PreClusterer:
             exact like ``"linear"``, sublinear per object like ``"tree"``.
         """
         tree = self._require_tree()
-        if via == "linear":
-            clustroids = self.clustroids_
-            labels = [
-                int(np.argmin(self.metric.one_to_many(obj, clustroids)))
-                for obj in objects
-            ]
-        elif via == "tree":
-            index = {id(f): i for i, f in enumerate(tree.leaf_features())}
-            labels = [index[id(tree.nearest_leaf_feature(obj))] for obj in objects]
-        elif via == "mtree":
-            from repro.metrics.tagged import TaggedMetric
-            from repro.mtree import MTree
+        with self.tracer.activation(), self.tracer.span("redistribute"):
+            if via == "linear":
+                clustroids = self.clustroids_
+                labels = [
+                    int(np.argmin(self.metric.one_to_many(obj, clustroids)))
+                    for obj in objects
+                ]
+            elif via == "tree":
+                index = {id(f): i for i, f in enumerate(tree.leaf_features())}
+                labels = [index[id(tree.nearest_leaf_feature(obj))] for obj in objects]
+            elif via == "mtree":
+                from repro.metrics.tagged import TaggedMetric
+                from repro.mtree import MTree
 
-            clustroids = self.clustroids_
-            # Clustroids may repeat (equal-valued objects in different
-            # clusters); index (position, clustroid) pairs to keep labels
-            # unambiguous, measuring only the clustroid component.
-            index = MTree(TaggedMetric(self.metric), node_capacity=8)
-            for i, c in enumerate(clustroids):
-                index.insert((i, c))
-            labels = [index.nearest((-1, obj))[1][0] for obj in objects]
-        else:
-            raise ParameterError(
-                f'via must be "linear", "tree" or "mtree", got {via!r}'
-            )
+                clustroids = self.clustroids_
+                # Clustroids may repeat (equal-valued objects in different
+                # clusters); index (position, clustroid) pairs to keep labels
+                # unambiguous, measuring only the clustroid component.
+                index = MTree(TaggedMetric(self.metric), node_capacity=8)
+                for i, c in enumerate(clustroids):
+                    index.insert((i, c))
+                labels = [index.nearest((-1, obj))[1][0] for obj in objects]
+            else:
+                raise ParameterError(
+                    f'via must be "linear", "tree" or "mtree", got {via!r}'
+                )
         return np.asarray(labels, dtype=np.intp)
 
 
@@ -490,6 +509,7 @@ class BUBBLEFM(PreClusterer):
         fm_iterations: int = 1,
         mapper: str = "fastmap",
         seed: int | np.random.Generator | None = None,
+        tracer: NullTracer = NULL_TRACER,
         validate: str | None = None,
     ):
         super().__init__(
@@ -501,6 +521,7 @@ class BUBBLEFM(PreClusterer):
             threshold=threshold,
             outlier_fraction=outlier_fraction,
             seed=seed,
+            tracer=tracer,
             validate=validate,
         )
         self.image_dim = image_dim

@@ -12,6 +12,7 @@ from repro.evaluation import clustroid_quality
 from repro.experiments.config import Scale, paper_max_nodes, resolve_scale
 from repro.experiments.results import TableResult
 from repro.metrics import EuclideanDistance
+from repro.observability import NULL_TRACER, NullTracer
 from repro.pipelines import cluster_dataset, map_first_cluster
 
 __all__ = [
@@ -76,18 +77,24 @@ def run_fig123_ds2_centers(scale: str | Scale = "laptop", seed: int = 4) -> Tabl
     )
 
 
-def _scan(algorithm: str, objs, max_nodes: int, seed: int) -> tuple[float, int]:
+def _scan(
+    algorithm: str, objs, max_nodes: int, seed: int, tracer: NullTracer = NULL_TRACER
+) -> tuple[float, int]:
     metric = EuclideanDistance()
     if algorithm == "bubble":
-        model = BUBBLE(metric, max_nodes=max_nodes, seed=seed, **_PARAMS)
+        model = BUBBLE(metric, max_nodes=max_nodes, seed=seed, tracer=tracer, **_PARAMS)
     else:
-        model = BUBBLEFM(metric, max_nodes=max_nodes, image_dim=20, seed=seed, **_PARAMS)
+        model = BUBBLEFM(
+            metric, max_nodes=max_nodes, image_dim=20, seed=seed, tracer=tracer, **_PARAMS
+        )
     start = time.perf_counter()
     model.fit(objs)
     return time.perf_counter() - start, metric.n_calls
 
 
-def run_fig4_time_vs_points(scale: str | Scale = "laptop", seed: int = 5) -> TableResult:
+def run_fig4_time_vs_points(
+    scale: str | Scale = "laptop", seed: int = 5, tracer: NullTracer = NULL_TRACER
+) -> TableResult:
     """Scan wall time vs number of points on DS20d.50c."""
     scale = resolve_scale(scale)
     max_nodes = paper_max_nodes(50)
@@ -95,8 +102,8 @@ def run_fig4_time_vs_points(scale: str | Scale = "laptop", seed: int = 5) -> Tab
     for n in scale.sweep_points:
         ds = make_cell_dataset(dim=20, n_clusters=50, n_points=n, seed=50)
         objs = ds.as_objects()
-        t_b, _ = _scan("bubble", objs, max_nodes, seed)
-        t_fm, _ = _scan("bubble-fm", objs, max_nodes, seed)
+        t_b, _ = _scan("bubble", objs, max_nodes, seed, tracer)
+        t_fm, _ = _scan("bubble-fm", objs, max_nodes, seed, tracer)
         rows.append([n, t_b, t_fm])
     return TableResult(
         experiment="Figure 4",
@@ -111,7 +118,9 @@ def run_fig4_time_vs_points(scale: str | Scale = "laptop", seed: int = 5) -> Tab
 
 
 def run_fig5_ncd_vs_points(
-    scale: str | Scale = "laptop", seeds: tuple[int, ...] = (6, 7, 8)
+    scale: str | Scale = "laptop",
+    seeds: tuple[int, ...] = (6, 7, 8),
+    tracer: NullTracer = NULL_TRACER,
 ) -> TableResult:
     """NCD vs number of points, averaged over seeds (tree evolution is
     discrete, so single runs are noisy at reduced scale)."""
@@ -121,8 +130,12 @@ def run_fig5_ncd_vs_points(
     for n in scale.sweep_points:
         ds = make_cell_dataset(dim=20, n_clusters=50, n_points=n, seed=60)
         objs = ds.as_objects()
-        ncd_b = float(np.mean([_scan("bubble", objs, max_nodes, s)[1] for s in seeds]))
-        ncd_fm = float(np.mean([_scan("bubble-fm", objs, max_nodes, s)[1] for s in seeds]))
+        ncd_b = float(
+            np.mean([_scan("bubble", objs, max_nodes, s, tracer)[1] for s in seeds])
+        )
+        ncd_fm = float(
+            np.mean([_scan("bubble-fm", objs, max_nodes, s, tracer)[1] for s in seeds])
+        )
         rows.append([n, ncd_b, ncd_fm, ncd_b - ncd_fm])
     return TableResult(
         experiment="Figure 5",
@@ -136,7 +149,9 @@ def run_fig5_ncd_vs_points(
     )
 
 
-def run_fig6_time_vs_clusters(scale: str | Scale = "laptop", seed: int = 7) -> TableResult:
+def run_fig6_time_vs_clusters(
+    scale: str | Scale = "laptop", seed: int = 7, tracer: NullTracer = NULL_TRACER
+) -> TableResult:
     """Scan wall time vs number of clusters at fixed N."""
     scale = resolve_scale(scale)
     rows = []
@@ -144,8 +159,8 @@ def run_fig6_time_vs_clusters(scale: str | Scale = "laptop", seed: int = 7) -> T
         ds = make_cell_dataset(dim=20, n_clusters=k, n_points=scale.fig6_points, seed=70)
         objs = ds.as_objects()
         max_nodes = paper_max_nodes(k)
-        t_b, _ = _scan("bubble", objs, max_nodes, seed)
-        t_fm, _ = _scan("bubble-fm", objs, max_nodes, seed)
+        t_b, _ = _scan("bubble", objs, max_nodes, seed, tracer)
+        t_fm, _ = _scan("bubble-fm", objs, max_nodes, seed, tracer)
         rows.append([k, t_b, t_fm])
     return TableResult(
         experiment="Figure 6",

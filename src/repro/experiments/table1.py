@@ -7,6 +7,7 @@ from repro.evaluation import adjusted_rand_index, distortion
 from repro.experiments.config import Scale, paper_max_nodes, resolve_scale
 from repro.experiments.results import TableResult
 from repro.metrics import EditDistance, EuclideanDistance
+from repro.observability import NULL_TRACER, NullTracer
 from repro.pipelines import cluster_dataset, map_first_cluster
 
 __all__ = ["run_table1", "run_table1b_strings", "PAPER_TABLE1"]
@@ -28,7 +29,9 @@ def _datasets(scale: Scale):
     ]
 
 
-def run_table1(scale: str | Scale = "laptop", seed: int = 1) -> TableResult:
+def run_table1(
+    scale: str | Scale = "laptop", seed: int = 1, tracer: NullTracer = NULL_TRACER
+) -> TableResult:
     """Distortion of the three pipelines on DS1, DS2 and DS20d.50c."""
     scale = resolve_scale(scale)
     rows = []
@@ -37,11 +40,11 @@ def run_table1(scale: str | Scale = "laptop", seed: int = 1) -> TableResult:
         objs = ds.as_objects()
         res_b = cluster_dataset(
             objs, EuclideanDistance(), k, algorithm="bubble",
-            max_nodes=max_nodes, seed=seed,
+            max_nodes=max_nodes, seed=seed, tracer=tracer,
         )
         res_fm = cluster_dataset(
             objs, EuclideanDistance(), k, algorithm="bubble-fm",
-            image_dim=dim, max_nodes=max_nodes, seed=seed,
+            image_dim=dim, max_nodes=max_nodes, seed=seed, tracer=tracer,
         )
         res_mf = map_first_cluster(
             objs, EuclideanDistance(), k, image_dim=dim,

@@ -5,6 +5,16 @@ The BIRCH* framework and both BUBBLE algorithms interact with data objects
 ``_distance`` and may override ``_one_to_many`` with a vectorized version;
 the public wrappers maintain the call counter that the paper reports as NCD
 (Section 6.1).
+
+Besides the per-metric total, this module hosts the **site-attribution
+ledger** behind :mod:`repro.observability`: while a :class:`CallLedger` is
+active, every counted call is additionally charged to the innermost *site*
+label on the ledger's stack (``leaf-d0`` leaf routing, ``nonleaf-d2`` sample
+routing, ``fastmap-map`` incremental mapping, ...; see
+``docs/observability.md`` for the taxonomy). Counting and charging share one
+code path (:meth:`DistanceFunction._count`), so the attributed totals sum
+*exactly* to ``n_calls`` — the conservation law the regression tests pin.
+With no ledger active the cost is a single ``None`` check per counted batch.
 """
 
 from __future__ import annotations
@@ -15,7 +25,98 @@ from typing import Any
 
 import numpy as np
 
-__all__ = ["DistanceFunction", "FunctionDistance"]
+__all__ = [
+    "DistanceFunction",
+    "FunctionDistance",
+    "CallLedger",
+    "UNATTRIBUTED_SITE",
+    "activate_ledger",
+    "deactivate_ledger",
+    "active_ledger",
+    "push_site",
+    "pop_site",
+]
+
+#: Site label for calls counted while a ledger is active but no span or
+#: site is open (e.g. user code measuring distances between phases).
+UNATTRIBUTED_SITE = "unattributed"
+
+
+class CallLedger:
+    """Site-attributed NCD accounting: who spent the distance calls.
+
+    A ledger keeps a stack of *site* labels and a ``by_site`` histogram;
+    :meth:`charge` books ``n`` calls against the innermost open site (or
+    :data:`UNATTRIBUTED_SITE` when the stack is empty). At most one ledger
+    is active at a time (see :func:`activate_ledger`); while active, every
+    :class:`DistanceFunction` in the process charges it from the same
+    statement that increments its own ``n_calls`` counter, so
+
+    ``sum(ledger.by_site.values()) == ledger.total``
+
+    always holds, and equals the per-metric NCD delta whenever a single
+    metric is in play for the whole activation window.
+    """
+
+    __slots__ = ("stack", "by_site", "total")
+
+    def __init__(self) -> None:
+        #: Innermost-last stack of open site labels.
+        self.stack: list[str] = []
+        #: Calls charged per site label.
+        self.by_site: dict[str, int] = {}
+        #: Total calls charged (== sum of ``by_site`` values).
+        self.total = 0
+
+    def charge(self, n: int) -> None:
+        """Book ``n`` distance calls against the innermost open site."""
+        site = self.stack[-1] if self.stack else UNATTRIBUTED_SITE
+        by_site = self.by_site
+        by_site[site] = by_site.get(site, 0) + n
+        self.total += n
+
+
+#: The process-wide active ledger (``None`` = attribution disabled).
+_ACTIVE_LEDGER: CallLedger | None = None
+
+
+def activate_ledger(ledger: CallLedger) -> CallLedger | None:
+    """Make ``ledger`` the active attribution target; returns the previous
+    one (re-activate it via :func:`deactivate_ledger` when done)."""
+    global _ACTIVE_LEDGER
+    previous = _ACTIVE_LEDGER
+    _ACTIVE_LEDGER = ledger
+    return previous
+
+
+def deactivate_ledger(previous: CallLedger | None = None) -> None:
+    """Deactivate the active ledger, restoring ``previous`` (if given)."""
+    global _ACTIVE_LEDGER
+    _ACTIVE_LEDGER = previous
+
+
+def active_ledger() -> CallLedger | None:
+    """The currently active :class:`CallLedger`, or ``None``."""
+    return _ACTIVE_LEDGER
+
+
+def push_site(label: str) -> None:
+    """Open attribution site ``label`` on the active ledger (no-op when
+    attribution is disabled). Pair with :func:`pop_site` in a ``finally``."""
+    ledger = _ACTIVE_LEDGER
+    if ledger is not None:
+        ledger.stack.append(label)
+
+
+def pop_site() -> None:
+    """Close the innermost site opened by :func:`push_site`.
+
+    Tolerates an empty stack so a push skipped because attribution was
+    disabled never underflows its paired pop.
+    """
+    ledger = _ACTIVE_LEDGER
+    if ledger is not None and ledger.stack:
+        ledger.stack.pop()
 
 
 class DistanceFunction(ABC):
@@ -52,6 +153,20 @@ class DistanceFunction(ABC):
         """Reset the NCD counter to zero (e.g. between experiment phases)."""
         self._n_calls = 0
 
+    def _count(self, n: int) -> None:
+        """Book ``n`` true evaluations: the NCD counter plus, when a
+        :class:`CallLedger` is active, site attribution.
+
+        Every counted path — here and in wrappers that own their counting,
+        like :class:`~repro.robustness.GuardedMetric` — must go through
+        this method; it is what keeps the per-site ledger and ``n_calls``
+        in exact agreement.
+        """
+        self._n_calls += n
+        ledger = _ACTIVE_LEDGER
+        if ledger is not None:
+            ledger.charge(n)
+
     # ------------------------------------------------------------------
     # Public measuring API (counted)
     # ------------------------------------------------------------------
@@ -63,7 +178,7 @@ class DistanceFunction(ABC):
         counting metrics) still satisfy the scalar contract downstream code
         relies on.
         """
-        self._n_calls += 1
+        self._count(1)
         return float(self._distance(a, b))
 
     def one_to_many(self, obj: Any, objects: Sequence) -> np.ndarray:
@@ -74,9 +189,9 @@ class DistanceFunction(ABC):
         :meth:`_distance`.
         """
         n = len(objects)
-        self._n_calls += n
         if n == 0:
             return np.empty(0, dtype=np.float64)
+        self._count(n)
         return self._one_to_many(obj, objects)
 
     def pairwise(self, objects: Sequence) -> np.ndarray:
@@ -86,7 +201,9 @@ class DistanceFunction(ABC):
         diagonal is free).
         """
         n = len(objects)
-        self._n_calls += n * (n - 1) // 2
+        pairs = n * (n - 1) // 2
+        if pairs:
+            self._count(pairs)
         return self._pairwise(objects)
 
     def __call__(self, a: Any, b: Any) -> float:

@@ -1,0 +1,155 @@
+"""StatsSnapshot: one structured picture of a tree, its metric, and a trace.
+
+The CF*-tree, the distance function, the cache, and the tracer each hold a
+piece of the run's story; :class:`StatsSnapshot` collects them into a
+single JSON-compatible record — what ``repro stats <checkpoint>`` prints
+and what the benchmark harness embeds per experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.metrics.base import DistanceFunction
+from repro.metrics.cache import CachedDistance
+
+__all__ = ["StatsSnapshot"]
+
+
+def _find_cache(metric: Any) -> CachedDistance | None:
+    """Walk a wrapper chain (guarded(cached(...)), ...) to the first cache."""
+    seen = 0
+    while metric is not None and seen < 10:
+        if isinstance(metric, CachedDistance):
+            return metric
+        metric = getattr(metric, "inner", None)
+        seen += 1
+    return None
+
+
+@dataclass
+class StatsSnapshot:
+    """Point-in-time statistics of a (possibly traced) pre-clustering run."""
+
+    #: Objects inserted into the tree so far.
+    n_objects: int = 0
+    #: Tree nodes (leaf + non-leaf).
+    n_nodes: int = 0
+    #: Leaf nodes.
+    n_leaves: int = 0
+    #: Leaf-level sub-clusters.
+    n_clusters: int = 0
+    #: Tree height (a lone leaf root has height 1).
+    height: int = 0
+    #: Current threshold requirement ``T``.
+    threshold: float = 0.0
+    #: Rebuilds performed (Type II re-insertion passes).
+    n_rebuilds: int = 0
+    #: Node budget ``M`` (``None`` = unbounded).
+    max_nodes: int | None = None
+    #: ``n_nodes / max_nodes`` — how close the tree is to its next rebuild.
+    m_pressure: float | None = None
+    #: Outlier clusters currently parked (BIRCH-style outlier handling).
+    n_outliers_parked: int = 0
+    #: The metric's NCD counter (true evaluations).
+    ncd_total: int = 0
+    #: Site-attributed NCD (empty unless a tracer/ledger was supplied).
+    ncd_by_site: dict[str, int] = field(default_factory=dict)
+    #: Cache hits (``None`` when no :class:`CachedDistance` is in the chain).
+    cache_hits: int | None = None
+    #: Cache misses == true evaluations through the cache.
+    cache_misses: int | None = None
+
+    @classmethod
+    def from_tree(
+        cls,
+        tree: Any,
+        metric: DistanceFunction | None = None,
+        tracer: Any = None,
+    ) -> "StatsSnapshot":
+        """Snapshot a CF*-tree (anything with the tree's introspection API).
+
+        ``metric`` defaults to the tree policy's metric; ``tracer`` (a
+        :class:`~repro.observability.Tracer`) contributes per-site NCD.
+        """
+        if metric is None:
+            metric = getattr(getattr(tree, "policy", None), "metric", None)
+        n_leaves = sum(1 for _ in tree.leaves())
+        max_nodes = getattr(tree, "max_nodes", None)
+        snapshot = cls(
+            n_objects=tree.n_objects,
+            n_nodes=tree.n_nodes,
+            n_leaves=n_leaves,
+            n_clusters=tree.n_clusters,
+            height=tree.height,
+            threshold=float(tree.threshold),
+            n_rebuilds=tree.n_rebuilds,
+            max_nodes=max_nodes,
+            m_pressure=(tree.n_nodes / max_nodes) if max_nodes else None,
+            n_outliers_parked=getattr(tree, "n_outliers_parked", 0),
+        )
+        if metric is not None:
+            snapshot.ncd_total = metric.n_calls
+            cache = _find_cache(metric)
+            if cache is not None:
+                snapshot.cache_hits = cache.n_hits
+                snapshot.cache_misses = cache.n_calls
+        if tracer is not None and getattr(tracer, "enabled", False):
+            snapshot.ncd_by_site = dict(tracer.calls_by_site)
+        return snapshot
+
+    @classmethod
+    def from_model(cls, model: Any, tracer: Any = None) -> "StatsSnapshot":
+        """Snapshot a fitted driver (``BUBBLE``/``BUBBLEFM``)."""
+        if tracer is None:
+            tracer = getattr(model, "tracer", None)
+        return cls.from_tree(model.tree_, metric=model.metric, tracer=tracer)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible dict (what the harness and sinks embed)."""
+        return {
+            "n_objects": self.n_objects,
+            "n_nodes": self.n_nodes,
+            "n_leaves": self.n_leaves,
+            "n_clusters": self.n_clusters,
+            "height": self.height,
+            "threshold": self.threshold,
+            "n_rebuilds": self.n_rebuilds,
+            "max_nodes": self.max_nodes,
+            "m_pressure": self.m_pressure,
+            "n_outliers_parked": self.n_outliers_parked,
+            "ncd_total": self.ncd_total,
+            "ncd_by_site": dict(self.ncd_by_site),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+
+    def format(self) -> str:
+        """Aligned key/value table for terminal output."""
+        rows: list[tuple[str, str]] = [
+            ("objects", str(self.n_objects)),
+            ("nodes", str(self.n_nodes)),
+            ("leaves", str(self.n_leaves)),
+            ("sub-clusters", str(self.n_clusters)),
+            ("height", str(self.height)),
+            ("threshold", f"{self.threshold:.6g}"),
+            ("rebuilds", str(self.n_rebuilds)),
+            ("node budget M", str(self.max_nodes) if self.max_nodes else "unbounded"),
+        ]
+        if self.m_pressure is not None:
+            rows.append(("M-pressure", f"{self.m_pressure:.1%}"))
+        if self.n_outliers_parked:
+            rows.append(("outliers parked", str(self.n_outliers_parked)))
+        rows.append(("distance calls", str(self.ncd_total)))
+        if self.cache_hits is not None:
+            rows.append(("cache hits", str(self.cache_hits)))
+            rows.append(("cache misses", str(self.cache_misses)))
+        width = max(len(k) for k, _ in rows)
+        lines = [f"{k:<{width}}  {v}" for k, v in rows]
+        if self.ncd_by_site:
+            lines.append("NCD by site:")
+            site_width = max(len(site) for site in self.ncd_by_site)
+            for site, calls in sorted(self.ncd_by_site.items(), key=lambda kv: -kv[1]):
+                lines.append(f"  {site:<{site_width}}  {calls}")
+        return "\n".join(lines)

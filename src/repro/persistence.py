@@ -33,6 +33,7 @@ import numpy as np
 from repro.core.features import SubCluster
 from repro.exceptions import CheckpointError, ParameterError
 from repro.metrics.base import DistanceFunction
+from repro.observability import NULL_TRACER, NullTracer
 
 __all__ = [
     "save_subclusters",
@@ -139,6 +140,7 @@ def load_subclusters(
 
 _CHECKPOINT_VERSION = 1
 _METRIC_PID = "repro.metric"
+_TRACER_PID = "repro.tracer"
 
 
 class _MetricStrippingPickler(pickle.Pickler):
@@ -148,6 +150,12 @@ class _MetricStrippingPickler(pickle.Pickler):
     the loader substitutes a live metric, preserving the shared-identity
     invariant that ties the tree, its policy, features, and per-node
     mappers to one NCD counter.
+
+    Tracers are stripped the same way: a live
+    :class:`~repro.observability.Tracer` may hold open sink streams, so
+    every tracer reference becomes a persistent id that the loader resolves
+    to the no-op :data:`~repro.observability.NULL_TRACER` (re-attach a real
+    tracer explicitly after resuming if the new scan should be traced).
     """
 
     def __init__(self, file):
@@ -163,6 +171,8 @@ class _MetricStrippingPickler(pickle.Pickler):
                     "instance shared across the tree; found more than one"
                 )
             return _METRIC_PID
+        if isinstance(obj, NullTracer):
+            return _TRACER_PID
         return None
 
 
@@ -174,6 +184,8 @@ class _MetricRestoringUnpickler(pickle.Unpickler):
     def persistent_load(self, pid):
         if pid == _METRIC_PID:
             return self._metric
+        if pid == _TRACER_PID:
+            return NULL_TRACER
         raise CheckpointError(f"unknown persistent id {pid!r} in checkpoint")
 
 
@@ -252,18 +264,15 @@ def load_checkpoint(path: str | os.PathLike, metric: DistanceFunction) -> Checkp
     try:
         with open(path, "rb") as f:
             payload = _MetricRestoringUnpickler(f, metric).load()
-    except (
-        pickle.UnpicklingError,
-        EOFError,
-        AttributeError,
-        ImportError,
-        IndexError,
-        KeyError,
-        ValueError,
-        TypeError,
-    ) as exc:
+    except (OSError, CheckpointError):
+        # I/O failures and our own diagnostics carry their meaning already.
+        raise
+    except Exception as exc:
         # pickle surfaces corrupt streams through a zoo of exception types,
-        # not just UnpicklingError (e.g. a stray GET opcode raises ValueError)
+        # not just UnpicklingError: a stray GET opcode raises ValueError, a
+        # flipped length byte can surface IndexError, MemoryError, even
+        # SystemError from the C accelerator — so any non-I/O failure of
+        # the load is diagnosed as a corrupt checkpoint.
         raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
     if not isinstance(payload, dict) or "tree" not in payload:
         raise CheckpointError(f"checkpoint {path!r} has an unrecognized layout")

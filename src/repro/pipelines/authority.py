@@ -30,6 +30,7 @@ from repro.exceptions import EmptyDatasetError, ParameterError
 from repro.metrics.base import DistanceFunction
 from repro.metrics.cache import CachedDistance
 from repro.metrics.string import EditDistance
+from repro.observability import NULL_TRACER, NullTracer
 
 __all__ = ["AuthorityFile", "build_authority_file"]
 
@@ -82,6 +83,7 @@ def build_authority_file(
     assignment: str = "tree",
     cache: bool = True,
     seed=None,
+    tracer: NullTracer = NULL_TRACER,
 ) -> AuthorityFile:
     """Cluster variant strings into an authority file with BUBBLE-FM.
 
@@ -99,6 +101,9 @@ def build_authority_file(
         ``"tree"`` (fast, approximate) or ``"linear"`` (exact) second scan.
     cache:
         Dedupe exact repeats so each distinct pair is measured once.
+    tracer:
+        Optional :class:`repro.observability.Tracer`; spans and per-site
+        NCD then cover the scan, the assignment pass, and canonicalization.
 
     Returns
     -------
@@ -123,6 +128,7 @@ def build_authority_file(
         threshold=threshold,
         max_nodes=max_nodes,
         seed=seed,
+        tracer=tracer,
     ).fit(records)
     labels = model.assign(records, via=assignment)
 
@@ -142,7 +148,8 @@ def build_authority_file(
     members = [group for _, group in kept]
     labels = np.asarray([remap[int(c)] for c in labels], dtype=np.intp)
 
-    canonical = [_canonical_form(effective, group, frequency) for group in members]
+    with tracer.activation(), tracer.span("global-phase"):
+        canonical = [_canonical_form(effective, group, frequency) for group in members]
     return AuthorityFile(
         canonical=canonical,
         members=members,

@@ -26,6 +26,7 @@ from repro.core.preclusterer import BUBBLE, BUBBLEFM, PreClusterer
 from repro.exceptions import ParameterError
 from repro.hac import AgglomerativeClusterer
 from repro.metrics.base import DistanceFunction
+from repro.observability import NULL_TRACER, NullTracer
 from repro.pipelines.labeling import nearest_assignment
 
 __all__ = ["ClusteringResult", "cluster_dataset"]
@@ -102,6 +103,7 @@ def cluster_dataset(
     checkpoint_path=None,
     checkpoint_every: int = 1000,
     resume_from=None,
+    tracer: NullTracer = NULL_TRACER,
 ) -> ClusteringResult:
     """Run the complete pre-cluster → global-phase → label pipeline.
 
@@ -126,6 +128,11 @@ def cluster_dataset(
     the global phase; under ``assign=True`` they are still labeled with
     their nearest center in the second scan (labeling is read-only, so a
     previously failing object simply fails again and would raise there).
+
+    ``tracer`` threads a :class:`repro.observability.Tracer` through every
+    phase: the scan's spans come from the pre-clusterer, the global phase
+    runs under a ``global-phase`` span, and the second scan under
+    ``redistribute`` — so per-site NCD covers the whole pipeline.
     """
     if algorithm not in _ALGORITHMS:
         raise ParameterError(f"algorithm must be one of {_ALGORITHMS}, got {algorithm!r}")
@@ -146,6 +153,7 @@ def cluster_dataset(
         representation_number=representation_number,
         max_nodes=max_nodes,
         seed=seed,
+        tracer=tracer,
     )
     if algorithm == "bubble":
         model: PreClusterer = BUBBLE(metric, **common)
@@ -165,38 +173,43 @@ def cluster_dataset(
     clustroids = [s.clustroid for s in subclusters]
     weights = [s.n for s in subclusters]
     k = min(n_clusters, len(subclusters))
-    if global_method == "hac":
-        hac = AgglomerativeClusterer(n_clusters=k, linkage=linkage)
-        hac.fit(objects=clustroids, metric=metric, weights=weights)
-        sub_labels = hac.labels_
-        n_final = hac.n_clusters_
-    else:
-        from repro.clarans import CLARANS
-
-        clarans = CLARANS(k, metric, num_local=2, seed=seed)
-        clarans.fit(clustroids)
-        sub_labels = clarans.labels_
-        n_final = clarans.n_clusters_
-
-    if center_method == "auto":
-        center_method = "centroid" if _is_vector(clustroids[0]) else "medoid"
-    centers: list = []
-    remap = {}
-    for cluster in range(n_final):
-        idx = np.flatnonzero(sub_labels == cluster)
-        if len(idx) == 0:  # possible only under duplicate-medoid ties
-            continue
-        remap[cluster] = len(centers)
-        group = [clustroids[i] for i in idx]
-        group_w = np.asarray([weights[i] for i in idx], dtype=np.float64)
-        if center_method == "centroid":
-            mat = np.asarray(group, dtype=np.float64)
-            centers.append(mat.mean(axis=0))
+    with tracer.activation(), tracer.span("global-phase"):
+        if global_method == "hac":
+            hac = AgglomerativeClusterer(n_clusters=k, linkage=linkage)
+            hac.fit(objects=clustroids, metric=metric, weights=weights)
+            sub_labels = hac.labels_
+            n_final = hac.n_clusters_
         else:
-            centers.append(_weighted_medoid(metric, group, group_w))
+            from repro.clarans import CLARANS
+
+            clarans = CLARANS(k, metric, num_local=2, seed=seed)
+            clarans.fit(clustroids)
+            sub_labels = clarans.labels_
+            n_final = clarans.n_clusters_
+
+        if center_method == "auto":
+            center_method = "centroid" if _is_vector(clustroids[0]) else "medoid"
+        centers: list = []
+        remap = {}
+        for cluster in range(n_final):
+            idx = np.flatnonzero(sub_labels == cluster)
+            if len(idx) == 0:  # possible only under duplicate-medoid ties
+                continue
+            remap[cluster] = len(centers)
+            group = [clustroids[i] for i in idx]
+            group_w = np.asarray([weights[i] for i in idx], dtype=np.float64)
+            if center_method == "centroid":
+                mat = np.asarray(group, dtype=np.float64)
+                centers.append(mat.mean(axis=0))
+            else:
+                centers.append(_weighted_medoid(metric, group, group_w))
     sub_labels = np.asarray([remap[int(c)] for c in sub_labels], dtype=np.intp)
 
-    labels = nearest_assignment(metric, objects, centers) if assign else None
+    if assign:
+        with tracer.activation(), tracer.span("redistribute"):
+            labels = nearest_assignment(metric, objects, centers)
+    else:
+        labels = None
     return ClusteringResult(
         centers=centers,
         subclusters=subclusters,

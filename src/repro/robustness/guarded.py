@@ -294,11 +294,11 @@ class GuardedMetric(DistanceFunction):
     # ------------------------------------------------------------------
     def distance(self, a: Any, b: Any) -> float:
         self._check_budget(1)
-        self._n_calls += 1
+        self._count(1)
         value = self._guarded_eval(a, b)
         if self.symmetry_check_rate and float(self._rng.random()) < self.symmetry_check_rate:
             self.n_symmetry_checks += 1
-            self._n_calls += 1
+            self._count(1)
             back = self._guarded_eval(b, a)
             scale = max(abs(value), abs(back), 1.0)
             if abs(value - back) > self.symmetry_rtol * scale:
@@ -317,7 +317,7 @@ class GuardedMetric(DistanceFunction):
         if n == 0:
             return np.empty(0, dtype=np.float64)
         self._check_budget(n)
-        self._n_calls += n
+        self._count(n)
         # Fast path: trust the inner batch kernel, validate the whole array.
         try:
             # Counted above; the raw batch hook is probed so a fault can fall
@@ -341,7 +341,7 @@ class GuardedMetric(DistanceFunction):
         pairs = n * (n - 1) // 2
         if pairs:
             self._check_budget(pairs)
-        self._n_calls += pairs
+            self._count(pairs)
         try:
             # Same pattern as one_to_many: counted above, raw hook probed.
             out = np.asarray(self.inner._pairwise(objects), dtype=np.float64)  # reprolint: disable=RPL001

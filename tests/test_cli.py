@@ -198,3 +198,134 @@ class TestAuditVerb:
         clean = tmp_path / "clean.py"
         clean.write_text('"""Doc."""\n\n__all__ = ["X"]\n\nX = 1\n')
         assert main(["lint", str(clean)]) == 0
+
+    def test_truncated_pickle_exits_two(self, tmp_path, capsys):
+        path, _ = self._make_checkpoint(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])  # simulate a torn write
+        assert main(["audit", str(path), "--type", "vectors"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestStatsVerb:
+    def _make_checkpoint(self, tmp_path):
+        from repro import BUBBLE
+        from repro.metrics import EuclideanDistance
+        from repro.persistence import save_checkpoint
+
+        rng = np.random.default_rng(4)
+        model = BUBBLE(EuclideanDistance(), max_nodes=15, seed=4)
+        model.partial_fit(list(rng.normal(size=(200, 2))))
+        path = tmp_path / "scan.ckpt"
+        save_checkpoint(path, model.tree_, cursor=200)
+        return path, model
+
+    def test_clean_checkpoint_prints_table(self, tmp_path, capsys):
+        path, model = self._make_checkpoint(tmp_path)
+        assert main(["stats", str(path), "--type", "vectors"]) == 0
+        out = capsys.readouterr().out
+        assert "cursor 200" in out
+        assert "sub-clusters" in out
+        assert "M-pressure" in out
+        import re
+
+        assert re.search(rf"^nodes\s+{model.tree_.n_nodes}$", out, re.MULTILINE)
+
+    def test_json_output_round_trips(self, tmp_path, capsys):
+        import json
+
+        path, model = self._make_checkpoint(tmp_path)
+        assert main(["stats", str(path), "--type", "vectors", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["cursor"] == 200
+        assert doc["n_objects"] == 200
+        assert doc["n_nodes"] == model.tree_.n_nodes
+        assert doc["max_nodes"] == 15
+
+    def test_truncated_pickle_exits_two(self, tmp_path, capsys):
+        path, _ = self._make_checkpoint(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        assert main(["stats", str(path), "--type", "vectors"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_garbage_bytes_exit_two(self, tmp_path, capsys):
+        path = tmp_path / "scan.ckpt"
+        path.write_bytes(b"not a pickle at all")
+        assert main(["stats", str(path), "--type", "vectors"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_checkpoint_exits_two(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "nope.ckpt"), "--type", "vectors"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_metric_exits_two(self, tmp_path, capsys):
+        path, _ = self._make_checkpoint(tmp_path)
+        assert main(["stats", str(path), "--type", "vectors", "--metric", "cosine"]) == 2
+
+
+class TestTraceOption:
+    def test_cluster_trace_writes_jsonl_and_summary(self, tmp_path, capsys):
+        import json
+
+        data = tmp_path / "pts.csv"
+        main(["generate", "cell", str(data), "--n-points", "200",
+              "--n-clusters", "3", "--dim", "2"])
+        trace = tmp_path / "trace.jsonl"
+        capsys.readouterr()
+        code = main([
+            "cluster", str(data), "--type", "vectors",
+            "--n-clusters", "3", "--max-nodes", "10",
+            "--trace", str(trace),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "--- trace summary ---" in out
+        assert "NCD by site" in out
+        assert f"trace written to {trace}" in out
+        events = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert events[-1]["ev"] == "summary"
+        by_site = events[-1]["ncd_by_site"]
+        assert sum(by_site.values()) == events[-1]["ncd_total"] > 0
+        assert "leaf-d0" in by_site
+        assert any(e["ev"] == "enter" and e["span"] == "insert" for e in events)
+        assert any(e["ev"] == "enter" and e["span"] == "redistribute" for e in events)
+
+    def test_trace_with_checkpoint_keeps_checkpoint_loadable(self, tmp_path, capsys):
+        # A live tracer holds an open trace-file handle; the checkpoint
+        # pickler must strip it or mid-scan snapshots would crash.
+        data = tmp_path / "pts.csv"
+        main(["generate", "cell", str(data), "--n-points", "300",
+              "--n-clusters", "3", "--dim", "2"])
+        trace = tmp_path / "trace.jsonl"
+        ckpt = tmp_path / "scan.ckpt"
+        code = main([
+            "cluster", str(data), "--type", "vectors",
+            "--n-clusters", "3", "--max-nodes", "10",
+            "--trace", str(trace), "--checkpoint", str(ckpt),
+            "--checkpoint-every", "100",
+        ])
+        assert code == 0
+        capsys.readouterr()
+        assert main(["stats", str(ckpt), "--type", "vectors"]) == 0
+        assert "distance calls" in capsys.readouterr().out
+
+    def test_authority_trace_writes_jsonl_and_summary(self, tmp_path, capsys):
+        import json
+
+        data = tmp_path / "records.txt"
+        main(["generate", "strings", str(data), "--n-points", "60",
+              "--n-clusters", "6"])
+        trace = tmp_path / "trace.jsonl"
+        capsys.readouterr()
+        code = main([
+            "authority", str(data), str(tmp_path / "authority.tsv"),
+            "--threshold", "2.0", "--trace", str(trace),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "--- trace summary ---" in out
+        events = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert events[-1]["ev"] == "summary"
+        assert sum(events[-1]["ncd_by_site"].values()) == events[-1]["ncd_total"] > 0
+        assert any(e["ev"] == "enter" and e["span"] == "global-phase" for e in events)
