@@ -31,18 +31,25 @@ import time
 from pathlib import Path
 from typing import Any, Callable
 
-from repro.experiments.config import resolve_scale
+from repro.core.preclusterer import BUBBLE, BUBBLEFM
+from repro.datasets.vector import make_cell_dataset
+from repro.experiments.config import paper_max_nodes, resolve_scale
 from repro.experiments.figures import (
     run_fig4_time_vs_points,
     run_fig5_ncd_vs_points,
     run_fig6_time_vs_clusters,
 )
 from repro.experiments.table1 import run_table1
+from repro.metrics import EuclideanDistance
 from repro.observability import Tracer, format_summary
 
-__all__ = ["run_harness", "main"]
+__all__ = ["run_harness", "run_pruning_benchmark", "main"]
 
 DEFAULT_OUTPUT = Path(__file__).parent / "BENCH_birchstar.json"
+PRUNING_OUTPUT = Path(__file__).parent / "BENCH_pruning.json"
+
+#: Tree parameters shared with the figure experiments (Section 6.1).
+_TREE_PARAMS = dict(branching_factor=15, sample_size=75, representation_number=10)
 
 #: The experiments the harness drives: name -> callable(scale, tracer).
 EXPERIMENTS: dict[str, Callable[..., Any]] = {
@@ -125,6 +132,111 @@ def run_harness(
     return doc
 
 
+def _pruning_workloads(scale: str) -> list[dict[str, Any]]:
+    """Figure 4–6 style cell-grid workloads at the requested scale."""
+    cfg = resolve_scale(scale)
+    return [
+        {"name": "fig4_cells", "dim": 20, "n_clusters": 50,
+         "n_points": max(cfg.sweep_points), "seed": 50},
+        {"name": "fig5_cells", "dim": 20, "n_clusters": 50,
+         "n_points": max(cfg.sweep_points), "seed": 60},
+        {"name": "fig6_cells", "dim": 20, "n_clusters": max(cfg.sweep_clusters),
+         "n_points": cfg.fig6_points, "seed": 70},
+    ]
+
+
+def _pruning_scan(
+    algorithm: str, objs: Any, max_nodes: int, prune: bool
+) -> dict[str, Any]:
+    """One traced scan; returns NCD totals, per-site NCD, and pruning stats."""
+    metric = EuclideanDistance()
+    tracer = Tracer()
+    with tracer:
+        if algorithm == "bubble":
+            model = BUBBLE(
+                metric, max_nodes=max_nodes, seed=0, tracer=tracer,
+                prune=prune, **_TREE_PARAMS,
+            )
+        else:
+            model = BUBBLEFM(
+                metric, max_nodes=max_nodes, image_dim=20, seed=0, tracer=tracer,
+                prune=prune, **_TREE_PARAMS,
+            )
+        model.fit(objs)
+    tracer.close()
+    summary = tracer.summary()
+    return {
+        "ncd_total": summary["ncd_total"],
+        "ncd_by_site": summary["ncd_by_site"],
+        "n_subclusters": model.n_subclusters_,
+        "pruning": model.tree_.policy.pruning_stats.as_dict(),
+    }
+
+
+def run_pruning_benchmark(
+    scale: str = "smoke",
+    output: str | Path = PRUNING_OUTPUT,
+    verbose: bool = True,
+) -> dict[str, Any]:
+    """Exhaustive-vs-pruned NCD comparison; writes ``BENCH_pruning.json``.
+
+    Each Figure 4–6 workload is scanned twice per algorithm — once with the
+    pruned routing engine disabled, once enabled — with everything else
+    (data, seeds, tree parameters) identical. Because pruning is exact, the
+    two scans build the same tree; only NCD changes. The committed file is
+    the regression baseline the NCD gate test compares against.
+
+    ``pruning.maintenance_evals`` in each record counts the raw
+    (NCD-neutral) evaluations spent maintaining pivot geometry — reported
+    so the accounting policy stays honest.
+    """
+    records = []
+    for workload in _pruning_workloads(scale):
+        ds = make_cell_dataset(
+            dim=workload["dim"], n_clusters=workload["n_clusters"],
+            n_points=workload["n_points"], seed=workload["seed"],
+        )
+        objs = list(ds.points)
+        max_nodes = paper_max_nodes(workload["n_clusters"])
+        for algorithm in ("bubble", "bubble-fm"):
+            if verbose:
+                print(f"[harness] pruning benchmark: {workload['name']} / "
+                      f"{algorithm} at scale {scale!r} ...", flush=True)
+            exhaustive = _pruning_scan(algorithm, objs, max_nodes, prune=False)
+            pruned = _pruning_scan(algorithm, objs, max_nodes, prune=True)
+            site_reduction = {}
+            for site, before in exhaustive["ncd_by_site"].items():
+                after = pruned["ncd_by_site"].get(site, 0)
+                site_reduction[site] = round(1.0 - after / before, 4) if before else 0.0
+            total_before = exhaustive["ncd_total"]
+            record = {
+                "workload": workload,
+                "algorithm": algorithm,
+                "max_nodes": max_nodes,
+                "exhaustive": exhaustive,
+                "pruned": pruned,
+                "ncd_reduction_total": (
+                    round(1.0 - pruned["ncd_total"] / total_before, 4)
+                    if total_before else 0.0
+                ),
+                "ncd_reduction_by_site": site_reduction,
+            }
+            records.append(record)
+            if verbose:
+                print(f"[harness]   NCD {total_before} -> {pruned['ncd_total']} "
+                      f"({record['ncd_reduction_total']:.1%} saved)")
+    doc = {
+        "format": "repro-bench-pruning-v1",
+        "scale": scale,
+        "records": records,
+    }
+    output = Path(output)
+    output.write_text(json.dumps(doc, indent=2, sort_keys=False) + "\n", encoding="utf-8")
+    if verbose:
+        print(f"[harness] wrote {output}")
+    return doc
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="harness", description="traced benchmark runs -> BENCH_birchstar.json"
@@ -135,8 +247,17 @@ def main(argv: list[str] | None = None) -> int:
         "--only", nargs="*", default=None, metavar="NAME",
         help=f"subset of experiments to run (choices: {', '.join(EXPERIMENTS)})",
     )
+    parser.add_argument(
+        "--pruning", action="store_true",
+        help="run the exhaustive-vs-pruned NCD comparison instead "
+             "(writes BENCH_pruning.json)",
+    )
+    parser.add_argument("--pruning-output", default=str(PRUNING_OUTPUT))
     args = parser.parse_args(argv)
-    run_harness(scale=args.scale, output=args.output, only=args.only)
+    if args.pruning:
+        run_pruning_benchmark(scale=args.scale, output=args.pruning_output)
+    else:
+        run_harness(scale=args.scale, output=args.output, only=args.only)
     return 0
 
 

@@ -61,15 +61,15 @@ def average_inter_cluster_distance(
 ) -> float:
     """``D2(A, B)`` of Definition 4.4 between two object sets.
 
-    Counts ``|A| * |B|`` distance calls; used between non-leaf entries when a
-    node must be split and no image space is available.
+    Counts ``|A| * |B|`` distance calls, paid in a single batched
+    :meth:`~repro.metrics.base.DistanceFunction.cross` dispatch; used
+    between non-leaf entries when a node must be split and no image space
+    is available.
     """
     if not objects_a or not objects_b:
         raise ParameterError("D2 requires two non-empty object sets")
-    total = 0.0
-    for a in objects_a:
-        dists = metric.one_to_many(a, objects_b)
-        total += float(np.dot(dists, dists))
+    cross = metric.cross(objects_a, objects_b)
+    total = float(np.einsum("ij,ij->", cross, cross))
     return float(np.sqrt(total / (len(objects_a) * len(objects_b))))
 
 
@@ -278,12 +278,11 @@ class BubbleClusterFeature(ClusterFeature):
 
     def _merge_exact(self, other: "BubbleClusterFeature") -> None:
         """Exact merge: both member lists are complete, so recompute RowSums
-        from the full cross-distance matrix (``n1 * n2`` calls)."""
+        from the full cross-distance matrix (``n1 * n2`` calls, one batched
+        gather)."""
         push_site("leaf-update")
         try:
-            cross = np.array(
-                [self.metric.one_to_many(a, other._reps) for a in self._reps]
-            ).reshape(len(self._reps), len(other._reps))
+            cross = self.metric.cross(self._reps, other._reps)
         finally:
             pop_site()
         cross_sq = cross**2

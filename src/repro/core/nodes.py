@@ -19,13 +19,19 @@ __all__ = ["LeafNode", "NonLeafNode", "NonLeafEntry"]
 
 
 class LeafNode:
-    """A leaf node: a list of leaf-level cluster features."""
+    """A leaf node: a list of leaf-level cluster features.
 
-    __slots__ = ("entries",)
+    ``aux`` is policy-owned acceleration state (the pruned routing engine
+    caches pivot geometry there); the framework never inspects it, and a
+    ``None`` value is always legal — caches are rebuilt lazily.
+    """
+
+    __slots__ = ("entries", "aux")
     is_leaf = True
 
     def __init__(self, entries: list[ClusterFeature] | None = None):
         self.entries: list[ClusterFeature] = entries if entries is not None else []
+        self.aux = None
 
     def __len__(self) -> int:
         return len(self.entries)

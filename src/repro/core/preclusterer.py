@@ -93,6 +93,18 @@ class PreClusterer:
         ``"debug"`` audits every split/rebuild with the invariant
         sanitizer (:func:`repro.analysis.audit.audit_tree`); ``None``
         (default) skips runtime checking.
+    prune:
+        Route through the exact triangle-inequality pruned engine
+        (:mod:`repro.core.routing`). The clustering is bit-identical
+        either way; pruning only reduces NCD. On by default.
+    batch_size:
+        When set, :meth:`partial_fit` feeds the tree bounded blocks of
+        this many objects via :meth:`CFTree.insert_batch`, amortizing
+        root-level pivot distances across the block. The resulting tree is
+        identical to sequential insertion. Only applies under
+        ``on_error="raise"`` — per-object quarantine needs the sequential
+        path — and requires ``prune`` (the hints feed the pruned engine).
+        ``None`` (default) keeps the one-object-at-a-time scan.
     """
 
     def __init__(
@@ -107,6 +119,8 @@ class PreClusterer:
         seed: int | np.random.Generator | None = None,
         tracer: NullTracer = NULL_TRACER,
         validate: str | None = None,
+        prune: bool = True,
+        batch_size: int | None = None,
     ):
         self.metric = metric
         self.tracer = tracer
@@ -117,6 +131,12 @@ class PreClusterer:
         self.initial_threshold = threshold
         self.outlier_fraction = outlier_fraction
         self.validate = validate
+        self.prune = bool(prune)
+        if batch_size is not None:
+            batch_size = check_integer(batch_size, "batch_size", minimum=2)
+            if not self.prune:
+                raise ParameterError("batch_size requires prune=True")
+        self.batch_size = batch_size
         self._rng = ensure_rng(seed)
         self.tree_: CFTree | None = None
         self.quarantine_: Quarantine = Quarantine()
@@ -254,21 +274,60 @@ class PreClusterer:
         report = self.ingest_report_
         try:
             with self.tracer.activation():
-                for obj in objects:
-                    index = self._cursor
-                    self._cursor += 1
-                    report.n_seen += 1
-                    if on_error == "raise":
-                        tree.insert(obj)
-                        report.n_inserted += 1
-                    else:
-                        self._insert_or_quarantine(obj, index)
-                    if checkpoint_path is not None and self._cursor % checkpoint_every == 0:
-                        self._write_checkpoint(checkpoint_path)
+                if self.batch_size is not None and on_error == "raise":
+                    self._scan_batched(
+                        objects, checkpoint_path, checkpoint_every
+                    )
+                else:
+                    # Per-object quarantine needs the sequential path, so
+                    # batch_size is ignored under on_error="quarantine".
+                    for obj in objects:
+                        index = self._cursor
+                        self._cursor += 1
+                        report.n_seen += 1
+                        if on_error == "raise":
+                            tree.insert(obj)
+                            report.n_inserted += 1
+                        else:
+                            self._insert_or_quarantine(obj, index)
+                        if checkpoint_path is not None and self._cursor % checkpoint_every == 0:
+                            self._write_checkpoint(checkpoint_path)
         finally:
             report.elapsed_seconds += time.perf_counter() - start
             self._sync_report()
         return self
+
+    def _scan_batched(
+        self, objects: Iterable, checkpoint_path: Any, checkpoint_every: int
+    ) -> None:
+        """Feed the stream to the tree in bounded ``batch_size`` blocks.
+
+        Checkpoints land on block boundaries: one is written whenever a
+        block crosses a ``checkpoint_every`` multiple of the cursor, so a
+        resumed scan sees the same cadence within one block width.
+        """
+        tree = self.tree_
+        report = self.ingest_report_
+        block: list = []
+
+        def flush() -> None:
+            before = self._cursor
+            tree.insert_batch(block)
+            self._cursor += len(block)
+            report.n_seen += len(block)
+            report.n_inserted += len(block)
+            if checkpoint_path is not None and (
+                self._cursor // checkpoint_every > before // checkpoint_every
+            ):
+                self._write_checkpoint(checkpoint_path)
+
+        for obj in objects:
+            block.append(obj)
+            if len(block) >= self.batch_size:
+                flush()
+                block = []
+        if block:
+            flush()
 
     # ------------------------------------------------------------------
     # Fault-tolerant insertion
@@ -479,6 +538,7 @@ class BUBBLE(PreClusterer):
             representation_number=self.representation_number,
             sample_size=self.sample_size,
             seed=self._rng,
+            prune=self.prune,
         )
 
 
@@ -511,6 +571,8 @@ class BUBBLEFM(PreClusterer):
         seed: int | np.random.Generator | None = None,
         tracer: NullTracer = NULL_TRACER,
         validate: str | None = None,
+        prune: bool = True,
+        batch_size: int | None = None,
     ):
         super().__init__(
             metric,
@@ -523,6 +585,8 @@ class BUBBLEFM(PreClusterer):
             seed=seed,
             tracer=tracer,
             validate=validate,
+            prune=prune,
+            batch_size=batch_size,
         )
         self.image_dim = image_dim
         self.fm_iterations = fm_iterations
@@ -537,4 +601,5 @@ class BUBBLEFM(PreClusterer):
             fm_iterations=self.fm_iterations,
             mapper=self.mapper,
             seed=self._rng,
+            prune=self.prune,
         )

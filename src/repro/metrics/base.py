@@ -206,6 +206,19 @@ class DistanceFunction(ABC):
             self._count(pairs)
         return self._pairwise(objects)
 
+    def cross(self, objects_a: Sequence, objects_b: Sequence) -> np.ndarray:
+        """Return the ``|A| x |B|`` cross-distance matrix between two sets.
+
+        Counts ``|A| * |B|`` calls. This is the batched gather behind D2
+        computations and exact CF* merges: vectorized metrics pay one
+        dispatch for the whole block instead of one per row.
+        """
+        na, nb = len(objects_a), len(objects_b)
+        if na == 0 or nb == 0:
+            return np.empty((na, nb), dtype=np.float64)
+        self._count(na * nb)
+        return self._cross(objects_a, objects_b)
+
     def __call__(self, a: Any, b: Any) -> float:
         return self.distance(a, b)
 
@@ -232,6 +245,9 @@ class DistanceFunction(ABC):
                 out[i, j] = d
                 out[j, i] = d
         return out
+
+    def _cross(self, objects_a: Sequence, objects_b: Sequence) -> np.ndarray:
+        return np.stack([self._one_to_many(a, objects_b) for a in objects_a])
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(n_calls={self._n_calls})"

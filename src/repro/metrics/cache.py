@@ -38,7 +38,10 @@ class CachedDistance(DistanceFunction):
     Notes
     -----
     ``n_calls`` on the wrapper counts only cache *misses* (true evaluations,
-    mirroring the inner metric); ``n_hits`` counts avoided evaluations.
+    mirroring the inner metric); ``n_hits`` counts avoided evaluations, and
+    ``n_evictions`` how many pairs LRU eviction dropped. Eviction never
+    skews accounting: a re-measured evicted pair is a genuine miss (the
+    evaluation really happens again), so hit + miss totals stay exact.
     """
 
     def __init__(
@@ -57,6 +60,7 @@ class CachedDistance(DistanceFunction):
         self._key = key if key is not None else (lambda obj: obj)
         self._cache: OrderedDict[tuple, float] = OrderedDict()
         self.n_hits = 0
+        self.n_evictions = 0
         self.name = f"cached({inner.name})"
 
     @property
@@ -92,6 +96,7 @@ class CachedDistance(DistanceFunction):
         self._cache[key] = value
         if self.maxsize is not None and len(self._cache) > self.maxsize:
             self._cache.popitem(last=False)
+            self.n_evictions += 1
         return value
 
     def one_to_many(self, obj: Any, objects: Sequence) -> np.ndarray:
@@ -113,6 +118,14 @@ class CachedDistance(DistanceFunction):
                 d = self.distance(objects[i], objects[j])  # reprolint: disable=RPL004
                 out[i, j] = d
                 out[j, i] = d
+        return out
+
+    def cross(self, objects_a: Sequence, objects_b: Sequence) -> np.ndarray:
+        # Route every pair through the cache so repeated cross-gathers (D2
+        # between the same entry summaries, exact merges) hit memoized pairs.
+        out = np.empty((len(objects_a), len(objects_b)), dtype=np.float64)
+        for i, a in enumerate(objects_a):
+            out[i] = self.one_to_many(a, objects_b)
         return out
 
     def _distance(self, a: Any, b: Any) -> float:  # pragma: no cover - bypassed by distance()

@@ -101,6 +101,23 @@ class MinkowskiDistance(DistanceFunction):
             return diff.sum(axis=2)
         return (diff**self.p).sum(axis=2) ** (1.0 / self.p)
 
+    def _cross(self, objects_a: Sequence, objects_b: Sequence) -> np.ndarray:
+        mat_a = as_matrix(objects_a)
+        mat_b = as_matrix(objects_b)
+        if mat_a.shape[1] != mat_b.shape[1]:
+            raise MetricError(
+                f"dimension mismatch: {mat_a.shape[1]} vs {mat_b.shape[1]} coordinates"
+            )
+        # Row-by-row |a_i - B| keeps each row bit-identical to the
+        # corresponding `_one_to_many(a_i, objects_b)` result, which the
+        # pruned-routing equivalence guarantee relies on.
+        diff = np.abs(mat_a[:, None, :] - mat_b[None, :, :])
+        if self.p == 2.0:
+            return np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+        if self.p == 1.0:
+            return diff.sum(axis=2)
+        return (diff**self.p).sum(axis=2) ** (1.0 / self.p)
+
 
 class EuclideanDistance(MinkowskiDistance):
     """The L2 metric; the distance function for all synthetic vector datasets."""

@@ -60,6 +60,9 @@ class StatsSnapshot:
     cache_hits: int | None = None
     #: Cache misses == true evaluations through the cache.
     cache_misses: int | None = None
+    #: Pruned-routing counters (:class:`repro.core.routing.PruningStats`
+    #: as a dict; ``None`` when the policy has no pruning engine).
+    pruning: dict[str, int] | None = None
 
     @classmethod
     def from_tree(
@@ -97,6 +100,9 @@ class StatsSnapshot:
                 snapshot.cache_misses = cache.n_calls
         if tracer is not None and getattr(tracer, "enabled", False):
             snapshot.ncd_by_site = dict(tracer.calls_by_site)
+        pruning_stats = getattr(getattr(tree, "policy", None), "pruning_stats", None)
+        if pruning_stats is not None:
+            snapshot.pruning = pruning_stats.as_dict()
         return snapshot
 
     @classmethod
@@ -123,6 +129,7 @@ class StatsSnapshot:
             "ncd_by_site": dict(self.ncd_by_site),
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "pruning": dict(self.pruning) if self.pruning is not None else None,
         }
 
     def format(self) -> str:
@@ -145,6 +152,14 @@ class StatsSnapshot:
         if self.cache_hits is not None:
             rows.append(("cache hits", str(self.cache_hits)))
             rows.append(("cache misses", str(self.cache_misses)))
+        if self.pruning is not None and self.pruning.get("queries"):
+            total = self.pruning.get("candidates_total", 0)
+            pruned = self.pruning.get("candidates_pruned", 0)
+            share = pruned / total if total else 0.0
+            rows.append(("pruned candidates", f"{pruned}/{total} ({share:.1%})"))
+            rows.append(
+                ("pruning maintenance", str(self.pruning.get("maintenance_evals", 0)))
+            )
         width = max(len(k) for k, _ in rows)
         lines = [f"{k:<{width}}  {v}" for k, v in rows]
         if self.ncd_by_site:

@@ -359,6 +359,27 @@ class GuardedMetric(DistanceFunction):
                 result[j, i] = d
         return result
 
+    def cross(self, objects_a: Sequence, objects_b: Sequence) -> np.ndarray:
+        na, nb = len(objects_a), len(objects_b)
+        if na == 0 or nb == 0:
+            return np.empty((na, nb), dtype=np.float64)
+        self._check_budget(na * nb)
+        self._count(na * nb)
+        try:
+            # Same pattern as one_to_many: counted above, raw hook probed.
+            out = np.asarray(self.inner._cross(objects_a, objects_b), dtype=np.float64)  # reprolint: disable=RPL001
+        except Exception:
+            out = None
+        if out is not None and out.shape == (na, nb):
+            out[(out < 0.0) & (out >= -_NEGATIVE_TOLERANCE)] = 0.0
+            if bool(np.all(np.isfinite(out)) and np.all(out >= 0.0)):
+                return out
+        result = np.empty((na, nb), dtype=np.float64)
+        for i in range(na):
+            for j in range(nb):
+                result[i, j] = self._guarded_eval(objects_a[i], objects_b[j])
+        return result
+
     # ------------------------------------------------------------------
     # Implementation hook (used only if someone bypasses the public API)
     # ------------------------------------------------------------------

@@ -176,6 +176,17 @@ class TestCachedDistanceAccounting:
         assert m.n_calls == 1
         assert m.n_hits == 1
 
+    def test_cross_routes_through_cache(self):
+        m = CachedDistance(EditDistance())
+        a, b = ["cat", "dog"], ["cart", "dot"]
+        first = m.cross(a, b)
+        assert first.shape == (2, 2)
+        assert m.n_calls == 4
+        second = m.cross(a, b)
+        assert np.array_equal(first, second)
+        assert m.n_calls == 4  # fully served from cache
+        assert m.n_hits == 4
+
     def test_mixed_type_keys_still_canonicalized(self):
         from repro.metrics import FunctionDistance
 
@@ -185,3 +196,54 @@ class TestCachedDistanceAccounting:
         assert m.distance("2", 1) == 1.0
         assert m.n_calls == 1
         assert m.n_hits == 1
+
+
+class TestCachedDistanceEviction:
+    """Regression tests: bounded cache, LRU order, and eviction accounting."""
+
+    def test_eviction_counter(self):
+        m = CachedDistance(EditDistance(), maxsize=2)
+        m.distance("a", "b")
+        m.distance("c", "d")
+        assert m.n_evictions == 0
+        m.distance("e", "f")
+        assert m.n_evictions == 1
+        assert len(m._cache) == 2
+
+    def test_cache_never_exceeds_maxsize(self):
+        m = CachedDistance(EditDistance(), maxsize=3)
+        words = ["a", "ab", "abc", "abcd", "abcde", "b"]
+        for i, x in enumerate(words):
+            for y in words[i + 1 :]:
+                m.distance(x, y)
+        assert len(m._cache) <= 3
+
+    def test_reevaluated_evicted_pair_counts_as_miss(self):
+        inner = EditDistance()
+        m = CachedDistance(inner, maxsize=1)
+        m.distance("a", "b")
+        m.distance("c", "d")  # evicts (a, b)
+        before_hits = m.n_hits
+        m.distance("a", "b")  # genuine re-evaluation
+        assert inner.n_calls == 3
+        assert m.n_hits == before_hits
+        assert m.n_evictions == 2
+
+    def test_hit_refreshes_lru_order(self):
+        inner = EditDistance()
+        m = CachedDistance(inner, maxsize=2)
+        m.distance("a", "b")
+        m.distance("c", "d")
+        m.distance("a", "b")  # hit: (a, b) becomes most recently used
+        m.distance("e", "f")  # must evict (c, d), not (a, b)
+        m.distance("a", "b")
+        assert m.n_hits == 2  # both (a, b) re-reads were hits
+        m.distance("c", "d")  # was evicted: a miss
+        assert inner.n_calls == 4
+
+    def test_unbounded_cache_never_evicts(self):
+        m = CachedDistance(EditDistance(), maxsize=None)
+        for i in range(50):
+            m.distance("a" * (i + 1), "b")
+        assert m.n_evictions == 0
+        assert len(m._cache) == 50

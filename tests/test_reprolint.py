@@ -52,6 +52,20 @@ class TestRPL001:
             "RPL001"
         ]
 
+    def test_routing_module_exempt(self):
+        # The pruned routing engine maintains cached pivot geometry through
+        # the raw hooks (NCD-neutral by documented policy) and is therefore
+        # on the RPL001 allowlist alongside metrics/base.py.
+        src = "def f(m, p, objs):\n    return m._one_to_many(p, objs)\n"
+        assert lint_source(src, "src/repro/core/routing.py", select=["RPL001"]) == []
+        assert codes(
+            lint_source(src, "src/repro/core/bubble.py", select=["RPL001"])
+        ) == ["RPL001"]
+
+    def test_cross_hook_flagged(self):
+        src = "def f(m, a, b):\n    return m._cross(a, b)\n"
+        assert codes(lint_source(src, "x.py", select=["RPL001"])) == ["RPL001"]
+
 
 class TestRPL002:
     def test_fixture_trips(self):
