@@ -25,11 +25,15 @@ documented in ``docs/observability.md``.
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
+import os
 import sys
 import time
 from pathlib import Path
 from typing import Any, Callable
+
+import numpy as np
 
 from repro.core.preclusterer import BUBBLE, BUBBLEFM
 from repro.datasets.vector import make_cell_dataset
@@ -42,11 +46,18 @@ from repro.experiments.figures import (
 from repro.experiments.table1 import run_table1
 from repro.metrics import EuclideanDistance
 from repro.observability import Tracer, format_summary
+from repro.utils import peak_rss_kb
 
-__all__ = ["run_harness", "run_pruning_benchmark", "main"]
+__all__ = ["run_harness", "run_pruning_benchmark", "run_parallel_benchmark", "main"]
 
 DEFAULT_OUTPUT = Path(__file__).parent / "BENCH_birchstar.json"
 PRUNING_OUTPUT = Path(__file__).parent / "BENCH_pruning.json"
+PARALLEL_OUTPUT = Path(__file__).parent / "BENCH_parallel.json"
+
+#: Logical shard count of the parallel benchmark. Pinned independently of
+#: ``n_jobs`` so the merged tree — and hence the committed NCD baseline —
+#: is identical no matter how many workers execute the build.
+PARALLEL_SHARDS = 4
 
 #: Tree parameters shared with the figure experiments (Section 6.1).
 _TREE_PARAMS = dict(branching_factor=15, sample_size=75, representation_number=10)
@@ -87,6 +98,7 @@ def _run_one(name: str, runner: Callable[..., Any], scale: str) -> dict[str, Any
             "columns": result.columns,
             "rows": result.rows,
         },
+        "peak_rss_kb": peak_rss_kb(),
     }
 
 
@@ -170,6 +182,7 @@ def _pruning_scan(
         "ncd_by_site": summary["ncd_by_site"],
         "n_subclusters": model.n_subclusters_,
         "pruning": model.tree_.policy.pruning_stats.as_dict(),
+        "peak_rss_kb": peak_rss_kb(),
     }
 
 
@@ -237,6 +250,161 @@ def run_pruning_benchmark(
     return doc
 
 
+def _tree_fingerprint(tree: Any) -> str:
+    """Order-sensitive digest of structure + leaf clustroids: two trees
+    share a fingerprint iff they are byte-identical."""
+    sig: list[Any] = []
+
+    def walk(node: Any) -> None:
+        if node.is_leaf:
+            sig.append(
+                tuple(repr(np.asarray(f.clustroid).tolist()) for f in node.entries)
+            )
+        else:
+            sig.append(len(node.entries))
+            for entry in node.entries:
+                walk(entry.child)
+
+    walk(tree.root)
+    return hashlib.sha256(repr(sig).encode("utf-8")).hexdigest()
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually schedule on (affinity-aware)."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def _parallel_run(
+    objects: list, ds: Any, n_clusters: int, max_nodes: int, n_jobs: int
+) -> dict[str, Any]:
+    """One traced end-to-end pipeline run; returns the benchmark record."""
+    from repro.analysis.audit import audit_tree
+    from repro.evaluation.metrics import clustroid_quality, distortion
+    from repro.pipelines.cluster import cluster_dataset
+
+    metric = EuclideanDistance()
+    tracer = Tracer()
+    start = time.perf_counter()
+    with tracer:
+        result = cluster_dataset(
+            objects,
+            metric,
+            n_clusters=n_clusters,
+            max_nodes=max_nodes,
+            seed=0,
+            assign=True,
+            tracer=tracer,
+            n_jobs=n_jobs,
+            n_shards=PARALLEL_SHARDS if n_jobs > 1 else None,
+        )
+    wall = time.perf_counter() - start
+    tracer.close()
+    summary = tracer.summary()
+    audit = audit_tree(result.model.tree_, raise_on_error=False)
+    return {
+        "n_jobs": n_jobs,
+        "n_shards": PARALLEL_SHARDS if n_jobs > 1 else 1,
+        "wall_seconds": round(wall, 3),
+        "scan_seconds": round(result.scan_seconds, 3),
+        "ncd_total": summary["ncd_total"],
+        "ncd_by_site": summary["ncd_by_site"],
+        "spans": {
+            span: {"count": int(agg["count"]), "ncd": int(agg["ncd"])}
+            for span, agg in sorted(summary["spans"].items())
+        },
+        "n_subclusters": len(result.subclusters),
+        "tree_fingerprint": _tree_fingerprint(result.model.tree_),
+        "quality": {
+            "clustroid_quality": round(
+                clustroid_quality(ds.centers, result.centers), 6
+            ),
+            "distortion": round(distortion(ds.points, result.labels), 6),
+        },
+        "audit": {
+            "n_errors": len(audit.errors),
+            "n_warnings": len(audit.warnings),
+        },
+        "shards": getattr(result.model, "shard_summaries_", []),
+        "peak_rss_kb": peak_rss_kb(),
+    }
+
+
+def run_parallel_benchmark(
+    scale: str = "smoke",
+    output: str | Path = PARALLEL_OUTPUT,
+    n_jobs: int = 4,
+    verbose: bool = True,
+) -> dict[str, Any]:
+    """Sequential-vs-sharded build comparison; writes ``BENCH_parallel.json``.
+
+    The Figure 4 cell workload is clustered three times: once sequentially,
+    once with the sharded build on ``n_jobs`` workers (``PARALLEL_SHARDS``
+    logical shards), and once more in parallel to witness determinism (the
+    merged-tree fingerprints must match). The record keeps the evidence the
+    gate test checks — speedup, determinism, audit cleanliness, per-site
+    NCD conservation, and Table 2-style quality for both builds — plus the
+    honest ``cpu_count``/``usable_cpus`` of the machine that produced it
+    (speedup on a single-core box is expected to be < 1 and is only gated
+    where ≥ 4 CPUs are usable).
+    """
+    cfg = resolve_scale(scale)
+    workload = {
+        "name": "fig4_cells",
+        "dim": 20,
+        "n_clusters": 50,
+        "n_points": max(cfg.sweep_points),
+        "seed": 50,
+    }
+    ds = make_cell_dataset(
+        dim=workload["dim"],
+        n_clusters=workload["n_clusters"],
+        n_points=workload["n_points"],
+        seed=workload["seed"],
+    )
+    objects = list(ds.points)
+    max_nodes = paper_max_nodes(workload["n_clusters"])
+
+    legs = [("sequential", 1), ("parallel", n_jobs), ("parallel_repeat", n_jobs)]
+    records: dict[str, dict[str, Any]] = {}
+    for name, jobs in legs:
+        if verbose:
+            print(f"[harness] parallel benchmark: {name} (n_jobs={jobs}) "
+                  f"at scale {scale!r} ...", flush=True)
+        records[name] = _parallel_run(
+            objects, ds, workload["n_clusters"], max_nodes, jobs
+        )
+    seq, par, repeat = (records[name] for name, _ in legs)
+    conservation = sum(par["ncd_by_site"].values()) == par["ncd_total"]
+    doc = {
+        "format": "repro-bench-parallel-v1",
+        "scale": scale,
+        "workload": workload,
+        "max_nodes": max_nodes,
+        "cpu_count": os.cpu_count(),
+        "usable_cpus": usable_cpus(),
+        "sequential": seq,
+        "parallel": par,
+        "parallel_repeat": repeat,
+        "speedup_scan": round(seq["scan_seconds"] / par["scan_seconds"], 3)
+        if par["scan_seconds"] else 0.0,
+        "speedup_total": round(seq["wall_seconds"] / par["wall_seconds"], 3)
+        if par["wall_seconds"] else 0.0,
+        "deterministic": par["tree_fingerprint"] == repeat["tree_fingerprint"],
+        "audit_clean": par["audit"]["n_errors"] == 0,
+        "conservation": conservation,
+    }
+    output = Path(output)
+    output.write_text(json.dumps(doc, indent=2, sort_keys=False) + "\n", encoding="utf-8")
+    if verbose:
+        print(f"[harness]   scan speedup {doc['speedup_scan']}x on "
+              f"{doc['usable_cpus']} usable CPUs; deterministic="
+              f"{doc['deterministic']} audit_clean={doc['audit_clean']}")
+        print(f"[harness] wrote {output}")
+    return doc
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="harness", description="traced benchmark runs -> BENCH_birchstar.json"
@@ -253,9 +421,23 @@ def main(argv: list[str] | None = None) -> int:
              "(writes BENCH_pruning.json)",
     )
     parser.add_argument("--pruning-output", default=str(PRUNING_OUTPUT))
+    parser.add_argument(
+        "--parallel", action="store_true",
+        help="run the sequential-vs-sharded build comparison instead "
+             "(writes BENCH_parallel.json)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=4, metavar="N",
+        help="worker processes for the parallel benchmark legs (default 4)",
+    )
+    parser.add_argument("--parallel-output", default=str(PARALLEL_OUTPUT))
     args = parser.parse_args(argv)
     if args.pruning:
         run_pruning_benchmark(scale=args.scale, output=args.pruning_output)
+    elif args.parallel:
+        run_parallel_benchmark(
+            scale=args.scale, output=args.parallel_output, n_jobs=args.jobs
+        )
     else:
         run_harness(scale=args.scale, output=args.output, only=args.only)
     return 0

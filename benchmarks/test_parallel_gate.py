@@ -1,0 +1,136 @@
+"""Regression gate for the parallel sharded build.
+
+Re-runs the sequential-vs-sharded comparison (same Figure 4 workload,
+seeds, and shard count as the committed ``BENCH_parallel.json``) with
+``n_jobs=2`` and asserts the parallel build's contract:
+
+* **determinism** — two parallel runs produce byte-identical merged trees
+  (the fingerprint covers structure and every leaf clustroid);
+* **audit cleanliness** — the merged tree passes the full invariant
+  sanitizer with zero errors;
+* **conservation** — the per-site ledger still partitions the parallel
+  run's total NCD exactly, shard re-booking included;
+* **quality** — the sharded build's Table 2-style metrics (clustroid
+  quality, distortion) stay within tolerance of the sequential build's;
+* **baseline** — parallel NCD stays within tolerance of the committed
+  ``BENCH_parallel.json``, so accounting drift fails CI instead of
+  landing;
+* **speedup** — the scan reaches >= 1.5x on four workers, gated only
+  where the machine actually has >= 4 usable CPUs (a single-core CI box
+  runs every other check and records its honest numbers).
+
+``n_shards`` is pinned by the harness (``PARALLEL_SHARDS``) so the merged
+tree — and hence the NCD — is the same no matter how many workers run it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from benchmarks.harness import (
+    PARALLEL_OUTPUT,
+    run_parallel_benchmark,
+    usable_cpus,
+)
+
+#: Relative tolerance vs the committed baseline's NCD totals.
+TOLERANCE = 0.02
+
+#: Allowed relative drift of the sharded build's quality metrics vs the
+#: sequential build on the same workload (the shards grow their thresholds
+#: on partial views; Section 4.2.2 bounds the effect, it does not zero it).
+QUALITY_TOLERANCE = 0.25
+
+#: The acceptance bar for the scan speedup on four workers.
+MIN_SPEEDUP = 1.5
+
+
+@pytest.fixture(scope="module")
+def parallel_doc(tmp_path_factory):
+    out = tmp_path_factory.mktemp("parallel") / "BENCH_parallel.json"
+    return run_parallel_benchmark(
+        scale="smoke", output=out, n_jobs=2, verbose=False
+    )
+
+
+@pytest.fixture(scope="module")
+def baseline_doc():
+    if not PARALLEL_OUTPUT.exists():
+        pytest.skip("no committed BENCH_parallel.json baseline")
+    return json.loads(Path(PARALLEL_OUTPUT).read_text(encoding="utf-8"))
+
+
+def test_parallel_build_is_deterministic(parallel_doc):
+    assert parallel_doc["deterministic"], (
+        "two parallel runs produced different merged trees: "
+        f"{parallel_doc['parallel']['tree_fingerprint']} vs "
+        f"{parallel_doc['parallel_repeat']['tree_fingerprint']}"
+    )
+
+
+def test_merged_tree_is_audit_clean(parallel_doc):
+    audit = parallel_doc["parallel"]["audit"]
+    assert audit["n_errors"] == 0, f"merged tree has {audit['n_errors']} audit errors"
+
+
+def test_conservation_law_holds_across_shards(parallel_doc):
+    for side in ("sequential", "parallel"):
+        record = parallel_doc[side]
+        assert sum(record["ncd_by_site"].values()) == record["ncd_total"], side
+
+
+def test_parallel_ncd_matches_repeat(parallel_doc):
+    # NCD is part of the determinism contract, not just the tree shape.
+    assert (
+        parallel_doc["parallel"]["ncd_total"]
+        == parallel_doc["parallel_repeat"]["ncd_total"]
+    )
+
+
+def test_shards_partition_the_input(parallel_doc):
+    record = parallel_doc["parallel"]
+    total = sum(shard["n_objects"] for shard in record["shards"])
+    assert total == parallel_doc["workload"]["n_points"]
+
+
+def test_quality_within_tolerance_of_sequential(parallel_doc):
+    seq = parallel_doc["sequential"]["quality"]
+    par = parallel_doc["parallel"]["quality"]
+    for key in ("clustroid_quality", "distortion"):
+        assert par[key] == pytest.approx(seq[key], rel=QUALITY_TOLERANCE), (
+            f"sharded build's {key} drifted: {par[key]} vs sequential {seq[key]}"
+        )
+
+
+def test_within_tolerance_of_committed_baseline(parallel_doc, baseline_doc):
+    assert baseline_doc["format"] == parallel_doc["format"]
+    assert baseline_doc["workload"] == parallel_doc["workload"]
+    got = parallel_doc["parallel"]["ncd_total"]
+    want = baseline_doc["parallel"]["ncd_total"]
+    assert got == pytest.approx(want, rel=TOLERANCE), (
+        f"parallel NCD drifted: {got} vs committed baseline {want}"
+    )
+    assert (
+        parallel_doc["sequential"]["ncd_total"]
+        == pytest.approx(baseline_doc["sequential"]["ncd_total"], rel=TOLERANCE)
+    )
+
+
+@pytest.mark.skipif(
+    usable_cpus() < 4,
+    reason="speedup gate needs >= 4 usable CPUs; this machine has fewer",
+)
+def test_speedup_on_four_workers(tmp_path):
+    doc = run_parallel_benchmark(
+        scale="smoke",
+        output=tmp_path / "BENCH_parallel_4.json",
+        n_jobs=4,
+        verbose=False,
+    )
+    assert doc["speedup_scan"] >= MIN_SPEEDUP, (
+        f"scan speedup {doc['speedup_scan']}x on {doc['usable_cpus']} CPUs "
+        f"is below the {MIN_SPEEDUP}x bar"
+    )

@@ -96,6 +96,11 @@ def _build_parser() -> argparse.ArgumentParser:
     clu.add_argument("--output", help="write one label per input line here")
     clu.add_argument("--seed", type=int, default=0)
     clu.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="parallel sharded build: scan in N worker processes and merge "
+             "the shard trees deterministically (see docs/performance.md)",
+    )
+    clu.add_argument(
         "--trace", default=None, metavar="PATH",
         help="stream a JSONL phase trace here and print an NCD-by-site summary",
     )
@@ -301,6 +306,7 @@ def _cmd_cluster(args) -> int:
             checkpoint_every=args.checkpoint_every,
             resume_from=args.resume_from,
             tracer=tracer,
+            n_jobs=args.jobs,
         )
     except (MetricBudgetExceededError, DeadlineExceededError, QuarantineOverflowError) as exc:
         tracer.close()

@@ -33,13 +33,14 @@ from repro.observability import NULL_TRACER, NullTracer
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_integer, check_positive
 
-__all__ = ["CFTree"]
+__all__ = ["CFTree", "DEFAULT_HINT_CHUNK"]
 
-#: Block-insert root hints are gathered this many objects at a time: a
-#: gather is NCD-neutral per consumed hint (it replaces the per-object
-#: root pivot call), but hints left over when the root changes
-#: structurally are pure waste, so the chunk bounds the waste per change.
-_BLOCK_HINT_CHUNK = 32
+#: Default block-insert hint-gather chunk: root hints are gathered this
+#: many objects at a time. A gather is NCD-neutral per consumed hint (it
+#: replaces the per-object root pivot call), but hints left over when the
+#: root changes structurally are pure waste, so the chunk bounds the waste
+#: per change. Override per tree with ``CFTree(hint_chunk=...)``.
+DEFAULT_HINT_CHUNK = 32
 
 logger = logging.getLogger("repro.cftree")
 
@@ -72,6 +73,12 @@ class CFTree:
         raising :class:`~repro.exceptions.TreeInvariantError` at the first
         violation. Expensive — meant for tests and bug hunts, not
         production scans.
+    hint_chunk:
+        How many objects each block-insert root-hint gather covers (see
+        :meth:`insert_batch`). Larger chunks amortize more root pivot
+        calls per gather but waste more hints when the root changes
+        structurally mid-block. The configured value is surfaced as
+        ``PruningStats.hint_chunk``.
     """
 
     def __init__(
@@ -84,6 +91,7 @@ class CFTree:
         seed: int | np.random.Generator | None = None,
         tracer: NullTracer = NULL_TRACER,
         validate: str | None = None,
+        hint_chunk: int = DEFAULT_HINT_CHUNK,
     ):
         if not isinstance(policy, BirchStarPolicy):
             raise ParameterError("policy must be a BirchStarPolicy")
@@ -111,6 +119,10 @@ class CFTree:
         if validate not in (None, "debug"):
             raise ParameterError(f'validate must be None or "debug", got {validate!r}')
         self.validate = validate
+        self.hint_chunk = check_integer(hint_chunk, "hint_chunk", minimum=1)
+        stats = getattr(policy, "pruning_stats", None)
+        if stats is not None:
+            stats.hint_chunk = self.hint_chunk
         self.tracer = tracer
         self._rng = ensure_rng(seed)
         self.root: LeafNode | NonLeafNode = LeafNode()
@@ -148,7 +160,7 @@ class CFTree:
         remaining block; any structural change at the root (a direct child
         split, root growth, a rebuild) invalidates the remaining hints,
         which are discarded (``end_insert_block``) and re-gathered. Hints
-        are gathered in chunks of ``_BLOCK_HINT_CHUNK``, so wasted distance
+        are gathered in chunks of :attr:`hint_chunk`, so wasted distance
         calls are bounded by one chunk per root-level structural change.
 
         Equivalence with sequential insertion additionally assumes the
@@ -159,6 +171,36 @@ class CFTree:
             return
         with self.tracer.span("insert-batch"):
             self._insert_block([(None, obj) for obj in objs], rebuild=True)
+
+    def insert_feature_batch(self, features: list[ClusterFeature]) -> None:
+        """Type II insertion of a block of whole clusters.
+
+        This is the merge primitive of the parallel build
+        (:mod:`repro.parallel`): leaf CF*s harvested from shard trees are
+        re-inserted here in a deterministic order, through the same hinted
+        block path :meth:`rebuild` uses, so the merged tree is reproducible
+        run-to-run. Unlike :meth:`insert_feature` (which :meth:`rebuild`
+        calls with the object count already on the books), this method
+        *adds* the features' populations to :attr:`n_objects` and then
+        enforces the node budget, so invariants and audits hold on the
+        merged tree.
+        """
+        if not features:
+            return
+        # Sum populations before inserting: a feature absorbed into an
+        # earlier one from this same batch mutates that entry's n in place,
+        # so summing afterwards would double-count the absorbed objects.
+        total = sum(feature.n for feature in features)
+        self._insert_block(
+            [(feature, self.policy.routing_object(feature)) for feature in features],
+            rebuild=False,
+        )
+        self.n_objects += total
+        if self.max_nodes is not None:
+            while self.n_nodes > self.max_nodes:
+                self.rebuild(suggest_next_threshold(self, self._rng))
+        if self.validate is not None and self._split_since_audit:
+            self._audit()
 
     def _insert_block(
         self, items: list[tuple[Any, Any]], rebuild: bool
@@ -176,7 +218,7 @@ class CFTree:
                 self._insert_item(feature, routing_obj, rebuild, hint=None)
                 pos += 1
                 continue
-            block = items[pos : pos + _BLOCK_HINT_CHUNK]
+            block = items[pos : pos + self.hint_chunk]
             hints = self.policy.begin_insert_block(
                 root, [routing_obj for _, routing_obj in block]
             )

@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.core.bubble import BubblePolicy
 from repro.core.bubble_fm import BubbleFMPolicy
-from repro.core.cftree import CFTree
+from repro.core.cftree import DEFAULT_HINT_CHUNK, CFTree
 from repro.core.features import SubCluster
 from repro.exceptions import (
     CheckpointError,
@@ -105,6 +105,22 @@ class PreClusterer:
         ``on_error="raise"`` — per-object quarantine needs the sequential
         path — and requires ``prune`` (the hints feed the pruned engine).
         ``None`` (default) keeps the one-object-at-a-time scan.
+    hint_chunk:
+        Block-insert hint-gather chunk size forwarded to the CF*-tree
+        (see :class:`repro.core.cftree.CFTree`); surfaced in the pruned
+        engine's ``PruningStats.hint_chunk``.
+    n_jobs:
+        Worker processes for a sharded build. The default 1 keeps the
+        paper's sequential single scan. Any other value (or an explicit
+        ``n_shards``) routes :meth:`fit` through :mod:`repro.parallel`:
+        the stream is split into shards, each worker runs this driver's
+        ``fit`` on its shard with its own metric copy, and the shard
+        trees' leaf CF*s are merged deterministically into this model's
+        final tree. Requires a picklable metric.
+    n_shards:
+        Logical shard count of the parallel build — the determinism-
+        bearing knob: for a fixed ``(seed, n_shards)`` the merged tree is
+        identical whatever ``n_jobs`` executes it. Defaults to ``n_jobs``.
     """
 
     def __init__(
@@ -121,6 +137,9 @@ class PreClusterer:
         validate: str | None = None,
         prune: bool = True,
         batch_size: int | None = None,
+        hint_chunk: int = DEFAULT_HINT_CHUNK,
+        n_jobs: int = 1,
+        n_shards: int | None = None,
     ):
         self.metric = metric
         self.tracer = tracer
@@ -137,15 +156,47 @@ class PreClusterer:
             if not self.prune:
                 raise ParameterError("batch_size requires prune=True")
         self.batch_size = batch_size
+        self.hint_chunk = check_integer(hint_chunk, "hint_chunk", minimum=1)
+        self.n_jobs = check_integer(n_jobs, "n_jobs", minimum=1)
+        if n_shards is not None:
+            n_shards = check_integer(n_shards, "n_shards", minimum=1)
+        self.n_shards = n_shards
+        #: The raw seed argument, kept so a sharded build can derive
+        #: independent, reproducible per-shard seeds from it.
+        self._seed = seed
         self._rng = ensure_rng(seed)
         self.tree_: CFTree | None = None
         self.quarantine_: Quarantine = Quarantine()
         self.ingest_report_: IngestReport = IngestReport()
+        #: Per-shard diagnostics of the last parallel build (empty for a
+        #: sequential fit): shard id, objects, sub-clusters, NCD, wall
+        #: time, and worker peak RSS.
+        self.shard_summaries_: list[dict] = []
         self._cursor = 0
 
     # -- subclasses supply the policy ---------------------------------
     def _make_policy(self) -> BubblePolicy:
         raise NotImplementedError
+
+    def _shard_params(self) -> dict:
+        """Constructor kwargs a shard worker needs to rebuild this driver.
+
+        Everything except ``metric``, ``seed``, ``tracer``, and the
+        parallel knobs themselves (shard drivers are always sequential).
+        Subclasses with extra constructor parameters must extend this.
+        """
+        return dict(
+            branching_factor=self.branching_factor,
+            sample_size=self.sample_size,
+            representation_number=self.representation_number,
+            max_nodes=self.max_nodes,
+            threshold=self.initial_threshold,
+            outlier_fraction=self.outlier_fraction,
+            validate=self.validate,
+            prune=self.prune,
+            batch_size=self.batch_size,
+            hint_chunk=self.hint_chunk,
+        )
 
     # ------------------------------------------------------------------
     def fit(
@@ -184,6 +235,22 @@ class PreClusterer:
             run reproduces the uninterrupted one exactly (same seed, same
             metric).
         """
+        if self.n_jobs > 1 or self.n_shards is not None:
+            if checkpoint_path is not None or resume_from is not None:
+                raise ParameterError(
+                    "checkpointing is not supported for a sharded build "
+                    "(shards already fault-isolate the scan); run with "
+                    "n_jobs=1 and n_shards=None to checkpoint"
+                )
+            from repro.parallel import parallel_fit
+
+            parallel_fit(
+                self,
+                objects,
+                on_error=on_error,
+                max_quarantine=max_quarantine,
+            )
+            return self
         if resume_from is not None:
             self._restore_checkpoint(resume_from)
             objects = itertools.islice(iter(objects), self._cursor, None)
@@ -262,6 +329,7 @@ class PreClusterer:
                 seed=self._rng,
                 tracer=self.tracer,
                 validate=self.validate,
+                hint_chunk=self.hint_chunk,
             )
         elif self.tree_.tracer is not self.tracer:
             # A tree restored from a checkpoint carries the no-op tracer;
@@ -573,6 +641,9 @@ class BUBBLEFM(PreClusterer):
         validate: str | None = None,
         prune: bool = True,
         batch_size: int | None = None,
+        hint_chunk: int = DEFAULT_HINT_CHUNK,
+        n_jobs: int = 1,
+        n_shards: int | None = None,
     ):
         super().__init__(
             metric,
@@ -587,10 +658,22 @@ class BUBBLEFM(PreClusterer):
             validate=validate,
             prune=prune,
             batch_size=batch_size,
+            hint_chunk=hint_chunk,
+            n_jobs=n_jobs,
+            n_shards=n_shards,
         )
         self.image_dim = image_dim
         self.fm_iterations = fm_iterations
         self.mapper = mapper
+
+    def _shard_params(self) -> dict:
+        params = super()._shard_params()
+        params.update(
+            image_dim=self.image_dim,
+            fm_iterations=self.fm_iterations,
+            mapper=self.mapper,
+        )
+        return params
 
     def _make_policy(self) -> BubbleFMPolicy:
         return BubbleFMPolicy(

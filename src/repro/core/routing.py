@@ -111,15 +111,38 @@ class PruningStats:
     block_hints: int = 0
     #: Precomputed hints discarded because the tree changed mid-block.
     block_hints_wasted: int = 0
+    #: Configured block-hint gather chunk size — configuration, not a
+    #: counter; 0 until a tree adopts these stats (see
+    #: ``CFTree(hint_chunk=...)``).
+    hint_chunk: int = 0
+
+    #: Fields that describe configuration rather than accumulated work.
+    _CONFIG_FIELDS = ("hint_chunk",)
 
     def as_dict(self) -> dict[str, int]:
         """JSON-compatible copy of every counter."""
         return asdict(self)
 
     def reset(self) -> None:
-        """Zero every counter."""
+        """Zero every counter (configuration fields keep their value)."""
         for name in self.__dataclass_fields__:
-            setattr(self, name, 0)
+            if name not in self._CONFIG_FIELDS:
+                setattr(self, name, 0)
+
+    def absorb(self, counters: dict[str, int]) -> None:
+        """Add another engine's counters into this one.
+
+        Used when merging shard results: each worker process routed with
+        its own :class:`PruningStats`, and the parent folds the per-shard
+        counters in so one object still summarizes the whole build.
+        Unknown keys and configuration fields are ignored.
+        """
+        for name in self.__dataclass_fields__:
+            if name in self._CONFIG_FIELDS:
+                continue
+            value = counters.get(name)
+            if value:
+                setattr(self, name, getattr(self, name) + int(value))
 
 
 class LeafGeometry:

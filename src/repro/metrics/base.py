@@ -167,6 +167,33 @@ class DistanceFunction(ABC):
         if ledger is not None:
             ledger.charge(n)
 
+    def count_external(self, n: int, site: str | None = None) -> None:
+        """Book ``n`` evaluations performed *outside* this process or object.
+
+        The parallel build (:mod:`repro.parallel`) runs each shard with its
+        own metric copy in a worker process; when the shard results come
+        home, the parent re-books the worker-side call counts here so a
+        single metric keeps the authoritative NCD total and, via
+        :meth:`_count`, the active :class:`CallLedger` keeps partitioning
+        ``n_calls`` exactly. ``site`` attributes the absorbed calls to the
+        worker's original site label (``leaf-d0``, ``nonleaf-d2``, ...);
+        ``None`` books them against the innermost open site.
+
+        No distance values flow through this method — only accounting.
+        """
+        if n < 0:
+            raise ValueError(f"cannot absorb a negative call count ({n})")
+        if n == 0:
+            return
+        if site is None:
+            self._count(n)
+            return
+        push_site(site)
+        try:
+            self._count(n)
+        finally:
+            pop_site()
+
     # ------------------------------------------------------------------
     # Public measuring API (counted)
     # ------------------------------------------------------------------

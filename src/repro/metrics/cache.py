@@ -20,6 +20,20 @@ from repro.metrics.base import DistanceFunction
 __all__ = ["CachedDistance"]
 
 
+def _default_key(obj: object) -> object:
+    """Hashable cache key for the object types the library ships.
+
+    Hashable objects (strings, tuples, numbers) pass through unchanged;
+    numpy arrays — unhashable — are keyed by dtype, shape, and raw bytes.
+    Module-level (not a lambda) so a :class:`CachedDistance` with the
+    default key survives pickling, e.g. when shipped to a shard worker by
+    :mod:`repro.parallel`.
+    """
+    if isinstance(obj, np.ndarray):
+        return (obj.dtype.str, obj.shape, obj.tobytes())
+    return obj
+
+
 class CachedDistance(DistanceFunction):
     """LRU cache in front of another :class:`DistanceFunction`.
 
@@ -31,9 +45,10 @@ class CachedDistance(DistanceFunction):
         Maximum number of cached pairs; the least recently used pair is
         evicted beyond this. ``None`` means unbounded.
     key:
-        Function mapping an object to a hashable cache key. Defaults to the
-        object itself, which works for strings and tuples; pass e.g.
-        ``lambda v: v.tobytes()`` for numpy vectors.
+        Function mapping an object to a hashable cache key. The default
+        passes hashable objects through and keys numpy vectors by their
+        dtype, shape, and bytes; pass a custom callable for other
+        unhashable object types.
 
     Notes
     -----
@@ -42,6 +57,14 @@ class CachedDistance(DistanceFunction):
     ``n_evictions`` how many pairs LRU eviction dropped. Eviction never
     skews accounting: a re-measured evicted pair is a genuine miss (the
     evaluation really happens again), so hit + miss totals stay exact.
+
+    The batched entry points (:meth:`one_to_many`, :meth:`pairwise`,
+    :meth:`cross`) route every pair through the cache with scalar-loop
+    accounting — per batch row, cached pairs are hits, repeated pairs
+    within the row are hits after their first occurrence, and the remaining
+    unique misses are gathered with **one** ``inner.one_to_many`` dispatch,
+    so vectorized inner metrics keep their batch advantage while ``n_hits``
+    and ``n_calls`` land exactly where a pair-by-pair loop would put them.
     """
 
     def __init__(
@@ -57,7 +80,7 @@ class CachedDistance(DistanceFunction):
             raise ParameterError(f"maxsize must be positive or None, got {maxsize}")
         self.inner = inner
         self.maxsize = maxsize
-        self._key = key if key is not None else (lambda obj: obj)
+        self._key = key if key is not None else _default_key
         self._cache: OrderedDict[tuple, float] = OrderedDict()
         self.n_hits = 0
         self.n_evictions = 0
@@ -72,8 +95,8 @@ class CachedDistance(DistanceFunction):
         self.inner.reset_counter()
         self.n_hits = 0
 
-    def _pair_key(self, a: Any, b: Any) -> tuple:
-        ka, kb = self._key(a), self._key(b)
+    @staticmethod
+    def _order(ka: Any, kb: Any) -> tuple:
         # Symmetric key: order the two halves so d(a,b) and d(b,a) share one
         # slot. Mixed-type keys raise TypeError; numpy-like keys raise
         # ValueError (elementwise comparison) — canonicalize via repr then.
@@ -85,6 +108,15 @@ class CachedDistance(DistanceFunction):
                 ka, kb = kb, ka
         return (ka, kb)
 
+    def _pair_key(self, a: Any, b: Any) -> tuple:
+        return self._order(self._key(a), self._key(b))
+
+    def _store(self, key: tuple, value: float) -> None:
+        self._cache[key] = value
+        if self.maxsize is not None and len(self._cache) > self.maxsize:
+            self._cache.popitem(last=False)
+            self.n_evictions += 1
+
     def distance(self, a: Any, b: Any) -> float:
         key = self._pair_key(a, b)
         cached = self._cache.get(key)
@@ -93,36 +125,63 @@ class CachedDistance(DistanceFunction):
             self.n_hits += 1
             return cached
         value = self.inner.distance(a, b)
-        self._cache[key] = value
-        if self.maxsize is not None and len(self._cache) > self.maxsize:
-            self._cache.popitem(last=False)
-            self.n_evictions += 1
+        self._store(key, value)
         return value
 
     def one_to_many(self, obj: Any, objects: Sequence) -> np.ndarray:
-        return np.fromiter(
-            (self.distance(obj, o) for o in objects),
-            dtype=np.float64,
-            count=len(objects),
-        )
+        n = len(objects)
+        out = np.empty(n, dtype=np.float64)
+        if n == 0:
+            return out
+        ka = self._key(obj)
+        keys = [self._order(ka, self._key(o)) for o in objects]
+        missing: list[int] = []
+        pending: set = set()
+        repeats: list[int] = []
+        for j, key in enumerate(keys):
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                self.n_hits += 1
+                out[j] = cached
+            elif key in pending:
+                # A pair already missed earlier in this batch: the scalar
+                # loop would find it freshly cached, so it is a hit.
+                self.n_hits += 1
+                repeats.append(j)
+            else:
+                pending.add(key)
+                missing.append(j)
+        if missing:
+            values = self.inner.one_to_many(obj, [objects[j] for j in missing])
+            resolved: dict[tuple, float] = {}
+            for pos, j in enumerate(missing):
+                value = float(values[pos])
+                out[j] = value
+                resolved[keys[j]] = value
+                self._store(keys[j], value)
+            for j in repeats:
+                out[j] = resolved[keys[j]]
+        return out
 
     def pairwise(self, objects: Sequence) -> np.ndarray:
         # Route every pair through the cache: the base-class implementation
         # would call the raw hook, bypassing both memoization and the inner
-        # metric's NCD counter.
+        # metric's NCD counter. Each row above the diagonal is one batched
+        # cache-aware gather.
         n = len(objects)
         out = np.zeros((n, n), dtype=np.float64)
-        for i in range(n):
-            for j in range(i + 1, n):
-                # This IS the all-pairs primitive, so the nested scan is the point.
-                d = self.distance(objects[i], objects[j])  # reprolint: disable=RPL004
-                out[i, j] = d
-                out[j, i] = d
+        for i in range(n - 1):
+            row = self.one_to_many(objects[i], objects[i + 1 :])
+            out[i, i + 1 :] = row
+            out[i + 1 :, i] = row
         return out
 
     def cross(self, objects_a: Sequence, objects_b: Sequence) -> np.ndarray:
         # Route every pair through the cache so repeated cross-gathers (D2
-        # between the same entry summaries, exact merges) hit memoized pairs.
+        # between the same entry summaries, exact merges, the parallel
+        # global matrix) hit memoized pairs; each row's unique misses go to
+        # the inner metric as one batched gather.
         out = np.empty((len(objects_a), len(objects_b)), dtype=np.float64)
         for i, a in enumerate(objects_a):
             out[i] = self.one_to_many(a, objects_b)

@@ -1,0 +1,292 @@
+"""Parallel sharded build: fan out the scan, merge the shard trees.
+
+The paper's single scan (Section 3) is embarrassingly partitionable
+because the global phase (Section 3.2) never needed one tree — only one
+set of leaf clusters. :func:`parallel_fit` splits the stream round-robin
+into ``n_shards`` shards, runs the existing fault-tolerant ``fit`` path on
+each shard (in ``n_jobs`` spawn-safe worker processes, or inline when
+``n_jobs=1``), then performs a **deterministic merge**: every shard tree's
+leaf CF*s are re-inserted — ordered by shard id, then leaf position — into
+the parent model's final tree through the hinted Type II block path that
+rebuilds already use.
+
+Determinism: the partition depends only on ``n_shards``; each shard's seed
+is derived from the model seed with ``SeedSequence.spawn``; the merge order
+is fixed. The merged tree is therefore a pure function of
+``(objects, seed, n_shards)`` — ``n_jobs`` only chooses how many processes
+execute it. Merge quality can drift from the sequential build's (the
+shards' thresholds grow on partial views of the data; see Section 4.2.2 and
+``docs/performance.md``), but the result is reproducible run-to-run and
+audit-clean.
+
+Accounting: each worker counts NCD on its own metric copy under its own
+:class:`~repro.metrics.base.CallLedger`; the parent re-books every
+worker-side call on its metric via
+:meth:`~repro.metrics.base.DistanceFunction.count_external`, per original
+site label, under a ``shard-ingest`` span — so one metric still carries
+the authoritative total and the per-site ledger still partitions
+``n_calls`` exactly. A guarded metric's call budget is split evenly across
+the shards with one share held back for the merge and later phases, and
+absorption re-checks the global budget.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+import time
+from collections.abc import Iterable
+from typing import Any
+
+import numpy as np
+
+from repro.core.cftree import CFTree
+from repro.exceptions import (
+    EmptyDatasetError,
+    MetricBudgetExceededError,
+    ParameterError,
+)
+from repro.parallel.shard import global_index, shard_objects
+from repro.parallel.worker import ShardResult, ShardTask, run_shard
+from repro.persistence import _MetricRestoringUnpickler
+from repro.robustness.quarantine import Quarantine
+from repro.robustness.report import IngestReport
+
+__all__ = ["parallel_fit", "resolve_n_shards"]
+
+
+def resolve_n_shards(model: Any) -> int:
+    """The logical shard count of a model's parallel build (defaults to
+    ``n_jobs`` when ``n_shards`` was not pinned explicitly)."""
+    return int(model.n_shards if model.n_shards is not None else model.n_jobs)
+
+
+def _shard_seeds(seed: Any, n_shards: int) -> list[int | None]:
+    """Independent, reproducible per-shard seeds derived from the model seed."""
+    if isinstance(seed, np.random.Generator):
+        raise ParameterError(
+            "a sharded build derives per-shard seeds from the model seed, "
+            "so seed must be an int or None, not a Generator"
+        )
+    if seed is None:
+        # Nondeterministic run: let each worker draw fresh entropy.
+        return [None] * n_shards
+    children = np.random.SeedSequence(int(seed)).spawn(n_shards)
+    return [int(child.generate_state(1, dtype=np.uint64)[0]) for child in children]
+
+
+def _metric_copies(metric: Any, n: int) -> list[Any]:
+    """``n`` private metric copies via a pickle round-trip (the same trip
+    the process pool would make), with a pre-flight error that names the
+    actual requirement."""
+    try:
+        blob = pickle.dumps(metric, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise ParameterError(
+            "a sharded build ships a copy of the metric to every worker, "
+            f"but this metric does not pickle: {exc!r}"
+        ) from exc
+    return [pickle.loads(blob) for _ in range(n)]
+
+
+def _shard_budgets(metric: Any, n_shards: int) -> int | None:
+    """Each shard's slice of a guarded metric's NCD budget.
+
+    The remaining budget is split into ``n_shards + 1`` equal shares — one
+    per shard plus one held back for the parent's merge and any later
+    phases. Workers enforce their share locally; the parent re-checks the
+    global budget when it absorbs the worker counts, so the cap stays
+    authoritative end to end.
+    """
+    if getattr(metric, "max_calls", None) is None:
+        return None
+    remaining = metric.remaining_calls
+    share = int(remaining) // (n_shards + 1)
+    if share < 1:
+        raise MetricBudgetExceededError(
+            f"distance-call budget too small to shard: {remaining} calls "
+            f"remain, which cannot cover {n_shards} shards plus a merge"
+        )
+    return share
+
+
+def _run_tasks(tasks: list[ShardTask], n_jobs: int) -> list[ShardResult]:
+    """Execute shard tasks inline (``n_jobs=1``) or on a spawn pool."""
+    if n_jobs <= 1 or len(tasks) <= 1:
+        return [run_shard(task) for task in tasks]
+    import multiprocessing
+    from concurrent.futures import ProcessPoolExecutor
+
+    context = multiprocessing.get_context("spawn")
+    with ProcessPoolExecutor(
+        max_workers=min(n_jobs, len(tasks)), mp_context=context
+    ) as pool:
+        return list(pool.map(run_shard, tasks))
+
+
+def parallel_fit(
+    model: Any,
+    objects: Iterable[Any],
+    *,
+    on_error: str = "raise",
+    max_quarantine: int | None = None,
+) -> Any:
+    """Shard, scan, and deterministically merge; leaves ``model`` fitted.
+
+    Called by ``PreClusterer.fit`` whenever ``n_jobs > 1`` or ``n_shards``
+    is set; not meant to be invoked directly (the driver's ``fit`` is the
+    public API). Returns ``model``.
+    """
+    if on_error not in ("raise", "quarantine"):
+        raise ParameterError(
+            f'on_error must be "raise" or "quarantine", got {on_error!r}'
+        )
+    start = time.perf_counter()
+    items = list(objects)
+    if not items:
+        raise EmptyDatasetError("fit requires at least one object")
+    n_shards = resolve_n_shards(model)
+    shards = shard_objects(items, n_shards)
+    seeds = _shard_seeds(model._seed, n_shards)
+    metrics = _metric_copies(model.metric, n_shards)
+    shard_budget = _shard_budgets(model.metric, n_shards)
+    params = model._shard_params()
+    tasks = [
+        ShardTask(
+            shard_id=shard_id,
+            n_shards=n_shards,
+            objects=shard,
+            driver=type(model),
+            params=params,
+            metric=metrics[shard_id],
+            seed=seeds[shard_id],
+            on_error=on_error,
+            max_quarantine=max_quarantine,
+            max_calls=shard_budget,
+        )
+        for shard_id, shard in enumerate(shards)
+    ]
+
+    results = _run_tasks(tasks, model.n_jobs)
+    model.shard_summaries_ = [
+        {
+            "shard_id": result.shard_id,
+            "n_objects": result.n_objects,
+            "n_subclusters": result.n_subclusters,
+            "n_calls": result.n_calls,
+            "elapsed_seconds": result.elapsed_seconds,
+            "peak_rss_kb": result.peak_rss_kb,
+        }
+        for result in results
+    ]
+
+    tracer = model.tracer
+    metric = model.metric
+    with tracer.activation():
+        # Re-book every worker-side call on the parent metric, preserving
+        # the workers' site labels so the ledger's per-site totals keep
+        # partitioning n_calls exactly.
+        with tracer.span("shard-ingest"):
+            for result in results:
+                attributed = 0
+                for site in sorted(result.by_site):
+                    n = int(result.by_site[site])
+                    metric.count_external(n, site=site)
+                    attributed += n
+                if result.n_calls > attributed:
+                    metric.count_external(result.n_calls - attributed)
+
+        # Deterministic merge: shard order, then leaf order, fixed seed.
+        features: list[Any] = []
+        start_threshold = float(model.initial_threshold)
+        for result in results:
+            payload = _MetricRestoringUnpickler(
+                io.BytesIO(result.payload), metric
+            ).load()
+            features.extend(payload["features"])
+            start_threshold = max(start_threshold, float(payload["threshold"]))
+
+        model.quarantine_ = _merge_quarantines(results, n_shards, max_quarantine)
+        model._cursor = len(items)
+        if not features:
+            model.tree_ = None
+            model.ingest_report_ = _merge_reports(model, results, start)
+            n_parked = len(model.quarantine_)
+            if n_parked:
+                raise EmptyDatasetError(
+                    f"every one of the {n_parked} scanned objects was "
+                    "quarantined; nothing to cluster"
+                )
+            raise EmptyDatasetError("fit requires at least one object")
+
+        policy = model._make_policy()
+        policy.tracer = tracer
+        tree = CFTree(
+            policy,
+            branching_factor=model.branching_factor,
+            max_nodes=model.max_nodes,
+            threshold=model.initial_threshold,
+            outlier_fraction=model.outlier_fraction,
+            seed=model._rng,
+            tracer=tracer,
+            validate=model.validate,
+            hint_chunk=model.hint_chunk,
+        )
+        # Start the merge at the most mature shard threshold: every shard
+        # cluster already satisfies its own shard's T, so a tighter start
+        # would only shatter them and rebuild straight back here.
+        tree.threshold = max(start_threshold, tree.threshold)
+        model.tree_ = tree
+        with tracer.span("merge"):
+            tree.insert_feature_batch(features)
+            if model.outlier_fraction is not None:
+                tree.reabsorb_outliers()
+
+        stats = getattr(policy, "pruning_stats", None)
+        if stats is not None:
+            for result in results:
+                stats.absorb(result.pruning)
+
+    model.ingest_report_ = _merge_reports(model, results, start)
+    return model
+
+
+def _merge_quarantines(
+    results: list[ShardResult], n_shards: int, max_quarantine: int | None
+) -> Quarantine:
+    """One quarantine buffer with *global* scan indices, in scan order.
+
+    Capacity was enforced per shard during the scans, so the merged buffer
+    may legitimately hold up to ``n_shards * max_quarantine`` records; the
+    merged buffer keeps the caller's limit only as metadata.
+    """
+    records = []
+    for result in results:
+        for local, obj, error_type, error in result.quarantine.get("records", []):
+            records.append(
+                (global_index(result.shard_id, int(local), n_shards), obj, error_type, error)
+            )
+    records.sort(key=lambda record: record[0])
+    merged = Quarantine.from_state({"max_size": None, "records": records})
+    merged.max_size = max_quarantine
+    return merged
+
+
+def _merge_reports(
+    model: Any, results: list[ShardResult], start: float
+) -> IngestReport:
+    """Fold shard reports into the model's build-wide report."""
+    report = IngestReport.merged(
+        [IngestReport.from_dict(result.report) for result in results]
+    )
+    report.elapsed_seconds = time.perf_counter() - start
+    report.n_distance_calls = model.metric.n_calls
+    if model.tree_ is not None:
+        report.n_rebuilds += model.tree_.n_rebuilds
+    # Shard-side guarded-metric counters are already in the merged sums;
+    # the parent metric only saw the merge phase, so its counters add on.
+    metric = model.metric
+    report.n_retries += getattr(metric, "n_retries", 0)
+    report.n_substitutions += getattr(metric, "n_substitutions", 0)
+    report.n_metric_faults += getattr(metric, "n_faults", 0)
+    return report

@@ -1,0 +1,36 @@
+"""Deterministic round-robin sharding of the input stream.
+
+Object ``i`` of the scan order goes to shard ``i % n_shards``. Round-robin
+(rather than contiguous blocks) keeps shard sizes balanced without knowing
+the stream length up front, and — because it depends only on position and
+``n_shards`` — the partition, hence every shard tree, hence the merged
+tree, is a pure function of ``(objects, seed, n_shards)``: how many worker
+processes execute the shards never changes the result.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Any
+
+__all__ = ["shard_objects", "global_index"]
+
+
+def shard_objects(objects: Iterable[Any], n_shards: int) -> list[list[Any]]:
+    """Split ``objects`` into ``n_shards`` round-robin shards (scan order
+    preserved within each shard)."""
+    shards: list[list[Any]] = [[] for _ in range(n_shards)]
+    for i, obj in enumerate(objects):
+        shards[i % n_shards].append(obj)
+    return shards
+
+
+def global_index(shard_id: int, local_index: int, n_shards: int) -> int:
+    """Map a shard-local scan position back to the global scan position.
+
+    Inverse of the round-robin split: shard ``s`` received global objects
+    ``s, s + n_shards, s + 2 * n_shards, ...``, so its ``j``-th object was
+    global object ``j * n_shards + s``. Used to restore global indices on
+    merged quarantine records.
+    """
+    return local_index * n_shards + shard_id

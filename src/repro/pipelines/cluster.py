@@ -104,6 +104,8 @@ def cluster_dataset(
     checkpoint_every: int = 1000,
     resume_from=None,
     tracer: NullTracer = NULL_TRACER,
+    n_jobs: int = 1,
+    n_shards: int | None = None,
 ) -> ClusteringResult:
     """Run the complete pre-cluster → global-phase → label pipeline.
 
@@ -133,6 +135,16 @@ def cluster_dataset(
     phase: the scan's spans come from the pre-clusterer, the global phase
     runs under a ``global-phase`` span, and the second scan under
     ``redistribute`` — so per-site NCD covers the whole pipeline.
+
+    ``n_jobs`` parallelizes the expensive phases: the pre-clustering scan
+    becomes a sharded build (see :mod:`repro.parallel`; ``n_shards`` pins
+    the logical partition independently of the worker count), and under
+    ``global_method="hac"`` the clustroid distance matrix is gathered with
+    chunked ``cross()`` blocks across the pool before being handed to the
+    hierarchical clusterer. CLARANS keeps its sequential adaptive search —
+    it measures a data-dependent subset of pairs, so precomputing the full
+    matrix would *increase* NCD. Requires a picklable metric; incompatible
+    with ``checkpoint_path``/``resume_from``.
     """
     if algorithm not in _ALGORITHMS:
         raise ParameterError(f"algorithm must be one of {_ALGORITHMS}, got {algorithm!r}")
@@ -154,6 +166,8 @@ def cluster_dataset(
         max_nodes=max_nodes,
         seed=seed,
         tracer=tracer,
+        n_jobs=n_jobs,
+        n_shards=n_shards,
     )
     if algorithm == "bubble":
         model: PreClusterer = BUBBLE(metric, **common)
@@ -176,7 +190,14 @@ def cluster_dataset(
     with tracer.activation(), tracer.span("global-phase"):
         if global_method == "hac":
             hac = AgglomerativeClusterer(n_clusters=k, linkage=linkage)
-            hac.fit(objects=clustroids, metric=metric, weights=weights)
+            if n_jobs > 1:
+                from repro.parallel import pairwise_matrix
+
+                with tracer.span("global-matrix"):
+                    dm = pairwise_matrix(metric, clustroids, n_jobs=n_jobs)
+                hac.fit(distance_matrix=dm, weights=weights)
+            else:
+                hac.fit(objects=clustroids, metric=metric, weights=weights)
             sub_labels = hac.labels_
             n_final = hac.n_clusters_
         else:

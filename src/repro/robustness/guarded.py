@@ -226,6 +226,18 @@ class GuardedMetric(DistanceFunction):
                     f"exceeded ({elapsed:.3g}s elapsed)"
                 )
 
+    def count_external(self, n: int, site: str | None = None) -> None:
+        """Absorb worker-side calls *against the budget*.
+
+        A parallel build splits ``max_calls`` across shard workers and
+        re-books their spending here; checking the budget before absorbing
+        keeps the global cap authoritative even if a worker was handed a
+        stale or over-generous share.
+        """
+        if n > 0:
+            self._check_budget(n)
+        super().count_external(n, site=site)
+
     # ------------------------------------------------------------------
     # Fault bookkeeping
     # ------------------------------------------------------------------

@@ -52,6 +52,32 @@ class IngestReport:
         known = {f.name for f in fields(cls)}
         return cls(**{k: v for k, v in payload.items() if k in known})
 
+    @classmethod
+    def merged(cls, reports: "list[IngestReport]") -> "IngestReport":
+        """Fold per-shard scan reports into one build-wide report.
+
+        Object and fault counters sum across shards. ``elapsed_seconds``
+        sums too — for a parallel build that is aggregate *worker* scan
+        time, which the caller (:mod:`repro.parallel`) overwrites with the
+        build's wall-clock time. ``n_distance_calls`` is likewise summed
+        here but re-synced by the caller once the merge and any later
+        phases have spent their own calls on the parent metric.
+        ``resumed_at`` does not survive merging (shards never resume).
+        """
+        out = cls()
+        for report in reports:
+            out.n_seen += report.n_seen
+            out.n_inserted += report.n_inserted
+            out.n_quarantined += report.n_quarantined
+            out.n_retries += report.n_retries
+            out.n_substitutions += report.n_substitutions
+            out.n_metric_faults += report.n_metric_faults
+            out.n_distance_calls += report.n_distance_calls
+            out.n_rebuilds += report.n_rebuilds
+            out.n_checkpoints += report.n_checkpoints
+            out.elapsed_seconds += report.elapsed_seconds
+        return out
+
     def format(self) -> str:
         """Multi-line human-readable summary (what the CLI prints)."""
         lines = [

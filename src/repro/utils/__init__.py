@@ -1,5 +1,6 @@
 """Small shared utilities: seeded RNG handling, validation, sampling."""
 
+from repro.utils.proc import peak_rss_kb
 from repro.utils.rng import ensure_rng
 from repro.utils.sampling import reservoir_sample, sample_without_replacement
 from repro.utils.validation import (
@@ -10,6 +11,7 @@ from repro.utils.validation import (
 
 __all__ = [
     "ensure_rng",
+    "peak_rss_kb",
     "reservoir_sample",
     "sample_without_replacement",
     "check_integer",

@@ -1,0 +1,20 @@
+"""Process resource introspection used by workers and the benchmark harness."""
+
+from __future__ import annotations
+
+import resource
+import sys
+
+__all__ = ["peak_rss_kb"]
+
+
+def peak_rss_kb() -> int:
+    """Peak resident set size of the calling process, in KiB.
+
+    ``ru_maxrss`` is reported in KiB on Linux but in bytes on macOS; the
+    value is normalized so BENCH records compare across platforms.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - platform-specific
+        peak //= 1024
+    return int(peak)

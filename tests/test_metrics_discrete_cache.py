@@ -247,3 +247,88 @@ class TestCachedDistanceEviction:
             m.distance("a" * (i + 1), "b")
         assert m.n_evictions == 0
         assert len(m._cache) == 50
+
+
+class TestCachedDistanceBatching:
+    """Regression tests for the batched gathers: ``one_to_many``/``cross``
+    must hit the inner metric's *vectorized* path exactly once per batch of
+    unique misses, with scalar-loop-exact hit/miss accounting, and the
+    default key must make the wrapper work on (and pickle with) ndarrays."""
+
+    def test_cross_counts_pinned_with_overlap(self):
+        m = CachedDistance(EditDistance())
+        first = m.cross(["abc", "abd"], ["abc", "xyz", "abd"])
+        assert first.shape == (2, 3)
+        # (abc,abc) self-pair and (abc,abd)/(abd,abc) share one slot:
+        # 6 lookups, 5 true evaluations, 1 symmetric hit.
+        assert m.n_calls == 5
+        assert m.n_hits == 1
+        second = m.cross(["abc", "abd"], ["abc", "xyz", "abd"])
+        assert np.array_equal(first, second)
+        assert m.n_calls == 5
+        assert m.n_hits == 7
+
+    def test_unique_misses_gathered_in_one_inner_batch(self):
+        calls = []
+
+        class SpyMetric(EditDistance):
+            def one_to_many(self, obj, objects):
+                calls.append(len(objects))
+                return super().one_to_many(obj, objects)
+
+        m = CachedDistance(SpyMetric())
+        m.one_to_many("cat", ["car", "cut", "car", "cat"])
+        # One vectorized gather for the three unique misses; the duplicate
+        # "car" is a within-batch hit served from the resolved values.
+        assert calls == [3]
+        assert m.n_calls == 3
+        assert m.n_hits == 1
+
+    def test_within_batch_repeat_is_a_hit(self):
+        inner = EditDistance()
+        m = CachedDistance(inner)
+        out = m.one_to_many("a", ["ab", "ab", "ab"])
+        assert np.array_equal(out, [1.0, 1.0, 1.0])
+        assert inner.n_calls == 1
+        assert m.n_calls == 1
+        assert m.n_hits == 2
+
+    def test_default_key_handles_ndarrays(self):
+        from repro.metrics import EuclideanDistance
+
+        m = CachedDistance(EuclideanDistance())
+        a, b = np.array([0.0, 0.0]), np.array([3.0, 4.0])
+        assert m.distance(a, b) == pytest.approx(5.0)
+        assert m.distance(b, a) == pytest.approx(5.0)
+        assert m.n_calls == 1
+        assert m.n_hits == 1
+
+    def test_default_key_distinguishes_dtype_and_shape(self):
+        from repro.metrics.cache import _default_key as probe
+        a64 = np.array([1.0, 2.0])
+        a32 = np.array([1.0, 2.0], dtype=np.float32)
+        assert probe(a64) != probe(a32)
+        assert probe(np.array([[1.0, 2.0]])) != probe(a64)
+        assert probe("abc") == "abc"
+
+    def test_default_cache_pickles(self):
+        import pickle
+
+        m = CachedDistance(EditDistance())
+        m.distance("kitten", "sitting")
+        clone = pickle.loads(pickle.dumps(m))
+        assert clone.distance("kitten", "sitting") == 3.0
+
+    def test_pairwise_uses_batched_rows(self):
+        gathers = []
+
+        class SpyMetric(EditDistance):
+            def one_to_many(self, obj, objects):
+                gathers.append(len(objects))
+                return super().one_to_many(obj, objects)
+
+        m = CachedDistance(SpyMetric())
+        m.pairwise(["a", "ab", "abc", "abcd"])
+        # Row-batched: one gather per leading row over its trailing objects.
+        assert gathers == [3, 2, 1]
+        assert m.n_calls == 6

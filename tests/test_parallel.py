@@ -1,0 +1,333 @@
+"""Tests for the parallel sharded build and the parallel global phase.
+
+Process-pool legs (``n_jobs > 1``) spawn real worker processes, so
+everything they ship — metrics, poison predicates — lives at module level
+to stay picklable. The determinism contract under test: the merged tree
+is a pure function of ``(objects, seed, n_shards)``; ``n_jobs`` only
+chooses the executor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.preclusterer import BUBBLE
+from repro.exceptions import (
+    EmptyDatasetError,
+    MetricBudgetExceededError,
+    ParameterError,
+)
+from repro.metrics import CachedDistance, EditDistance, EuclideanDistance
+from repro.observability import Tracer
+from repro.parallel import (
+    global_index,
+    pairwise_matrix,
+    parallel_fit,
+    resolve_n_shards,
+    shard_objects,
+)
+from repro.parallel.matrix import _band_bounds
+from repro.robustness import FlakyMetric, GuardedMetric
+
+__all__: list[str] = []
+
+
+def tree_signature(tree):
+    """Structure + leaf clustroids, byte-exact — equal iff trees identical."""
+    sig = []
+
+    def walk(node):
+        if node.is_leaf:
+            sig.append(
+                tuple(repr(np.asarray(f.clustroid).tolist()) for f in node.entries)
+            )
+        else:
+            sig.append(len(node.entries))
+            for entry in node.entries:
+                walk(entry.child)
+
+    walk(tree.root)
+    return sig
+
+
+def make_blobs(n=200, seed=3, n_centers=5, dim=2):
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(0.0, 20.0, size=(n_centers, dim))
+    points = [
+        centers[i % n_centers] + 0.4 * rng.normal(size=dim) for i in range(n)
+    ]
+    return points
+
+
+def poisoned(obj) -> bool:
+    """Module-level poison predicate so FlakyMetric survives the pool pickle."""
+    return bool(np.asarray(obj)[0] > 1e5)
+
+
+class TestShardHelpers:
+    def test_round_robin_partition(self):
+        items = list(range(10))
+        shards = shard_objects(items, 3)
+        assert shards == [[0, 3, 6, 9], [1, 4, 7], [2, 5, 8]]
+
+    def test_global_index_inverts_round_robin(self):
+        items = list(range(23))
+        n_shards = 4
+        shards = shard_objects(items, n_shards)
+        recovered = {
+            global_index(sid, local, n_shards): obj
+            for sid, shard in enumerate(shards)
+            for local, obj in enumerate(shard)
+        }
+        assert recovered == {i: i for i in items}
+
+    def test_resolve_n_shards(self):
+        model = BUBBLE(EuclideanDistance(), n_jobs=3)
+        assert resolve_n_shards(model) == 3
+        model = BUBBLE(EuclideanDistance(), n_jobs=3, n_shards=5)
+        assert resolve_n_shards(model) == 5
+
+    def test_band_bounds_partition_rows(self):
+        for n, n_bands in [(5, 2), (64, 8), (97, 16), (3, 8)]:
+            bounds = _band_bounds(n, n_bands)
+            assert bounds[0][0] == 0 and bounds[-1][1] == n
+            for (_, stop), (start, _) in zip(bounds, bounds[1:]):
+                assert stop == start
+
+
+class TestDeterminism:
+    def test_inline_build_is_reproducible(self):
+        points = make_blobs(n=150)
+        sigs, calls = [], []
+        for _ in range(2):
+            model = BUBBLE(
+                EuclideanDistance(), max_nodes=12, seed=7, n_shards=3
+            ).fit(points)
+            sigs.append(tree_signature(model.tree_))
+            calls.append(model.metric.n_calls)
+        assert sigs[0] == sigs[1]
+        assert calls[0] == calls[1]
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        n_shards=st.sampled_from([2, 3, 4]),
+        data_seed=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_merged_tree_is_pure_function_of_seed_and_shards(
+        self, seed, n_shards, data_seed
+    ):
+        points = make_blobs(n=60, seed=data_seed)
+        runs = [
+            BUBBLE(
+                EuclideanDistance(), max_nodes=10, seed=seed, n_shards=n_shards
+            ).fit(points)
+            for _ in range(2)
+        ]
+        assert tree_signature(runs[0].tree_) == tree_signature(runs[1].tree_)
+        assert runs[0].metric.n_calls == runs[1].metric.n_calls
+        total = sum(s.n for s in runs[0].subclusters_)
+        assert total == len(points)
+
+    def test_n_jobs_never_changes_the_tree(self):
+        # The executor is invisible: 1 (inline), 2, and 4 worker processes
+        # over the same 4 logical shards build byte-identical trees with
+        # identical NCD.
+        points = make_blobs(n=120)
+        runs = {
+            jobs: BUBBLE(
+                EuclideanDistance(), max_nodes=12, seed=11, n_jobs=jobs, n_shards=4
+            ).fit(points)
+            for jobs in (1, 2, 4)
+        }
+        inline = runs[1]
+        for jobs in (2, 4):
+            assert tree_signature(inline.tree_) == tree_signature(runs[jobs].tree_)
+            assert inline.metric.n_calls == runs[jobs].metric.n_calls
+            assert len(runs[jobs].shard_summaries_) == 4
+
+    def test_merged_tree_is_audit_clean(self, audit):
+        points = make_blobs(n=150)
+        model = BUBBLE(
+            EuclideanDistance(), max_nodes=12, seed=5, n_shards=3
+        ).fit(points)
+        report = audit(model.tree_)
+        assert not report.errors
+
+
+class TestMergeEfficiency:
+    def test_merge_cheaper_than_rescanning_raw_points(self):
+        """The merge re-inserts condensed leaf CF*s — far fewer items than
+        the raw stream — so its NCD must undercut a fresh sequential scan."""
+        points = make_blobs(n=800, seed=9)
+        tracer = Tracer()
+        model = BUBBLE(
+            EuclideanDistance(), max_nodes=12, seed=2, n_shards=4, tracer=tracer
+        ).fit(points)
+        merge_ncd = tracer.span_aggregates()["merge"]["ncd"]
+        n_merged = sum(s.n for s in model.subclusters_)
+        assert n_merged == len(points)
+        assert len(model.subclusters_) < len(points) // 4
+
+        rescan = BUBBLE(EuclideanDistance(), max_nodes=12, seed=2).fit(points)
+        assert merge_ncd < rescan.metric.n_calls
+
+
+class TestAccounting:
+    def test_ledger_partitions_total_ncd(self):
+        points = make_blobs(n=150)
+        tracer = Tracer()
+        metric = EuclideanDistance()
+        BUBBLE(metric, max_nodes=12, seed=1, n_shards=3, tracer=tracer).fit(points)
+        by_site = tracer.calls_by_site
+        assert sum(by_site.values()) == metric.n_calls
+        assert tracer.ledger.total == metric.n_calls
+
+    def test_shard_ingest_and_merge_spans_present(self):
+        points = make_blobs(n=150)
+        tracer = Tracer()
+        BUBBLE(
+            EuclideanDistance(), max_nodes=12, seed=1, n_shards=3, tracer=tracer
+        ).fit(points)
+        aggregates = tracer.span_aggregates()
+        assert "shard-ingest" in aggregates
+        assert "merge" in aggregates
+        assert aggregates["shard-ingest"]["ncd"] > 0
+
+    def test_merged_report_totals(self):
+        points = make_blobs(n=150)
+        metric = EuclideanDistance()
+        model = BUBBLE(metric, max_nodes=12, seed=1, n_shards=3).fit(points)
+        report = model.ingest_report_
+        assert report.n_seen == len(points)
+        assert report.n_inserted == len(points)
+        assert report.n_quarantined == 0
+        assert report.n_distance_calls == metric.n_calls
+        assert report.elapsed_seconds > 0
+
+    def test_merge_absorption_preserves_object_count(self):
+        # Regression: a shard feature absorbed into an earlier one from the
+        # same merge batch mutates that entry's n in place; the merge must
+        # not double-count the absorbed objects in tree.n_objects.
+        from repro.datasets.vector import make_cell_dataset
+
+        ds = make_cell_dataset(dim=10, n_clusters=50, n_points=600, seed=50)
+        model = BUBBLE(
+            EuclideanDistance(), max_nodes=10, seed=0, n_shards=4
+        ).fit(list(ds.points))
+        tree = model.tree_
+        assert tree.n_objects == 600
+        assert sum(f.n for f in tree.leaf_features()) == 600
+
+    def test_shard_summaries(self):
+        points = make_blobs(n=150)
+        model = BUBBLE(
+            EuclideanDistance(), max_nodes=12, seed=1, n_shards=3
+        ).fit(points)
+        summaries = model.shard_summaries_
+        assert [s["shard_id"] for s in summaries] == [0, 1, 2]
+        assert sum(s["n_objects"] for s in summaries) == len(points)
+        assert all(s["n_calls"] > 0 for s in summaries)
+        assert all(s["peak_rss_kb"] > 0 for s in summaries)
+
+
+class TestQuarantineMerge:
+    def test_global_indices_restored_in_scan_order(self):
+        points = make_blobs(n=80, seed=4)
+        bad_positions = [5, 17, 42]
+        for position in bad_positions:
+            points[position] = np.array([1e6, 1e6])
+        metric = FlakyMetric(EuclideanDistance(), failure_rate=0.0, poison=poisoned)
+        model = BUBBLE(metric, max_nodes=12, seed=3, n_shards=3).fit(
+            points, on_error="quarantine"
+        )
+        indices = [record.index for record in model.quarantine_.records]
+        assert indices == bad_positions
+        assert model.ingest_report_.n_quarantined == len(bad_positions)
+        assert model.ingest_report_.n_inserted == len(points) - len(bad_positions)
+
+    def test_quarantine_limit_enforced_per_shard(self):
+        from repro.exceptions import QuarantineOverflowError
+
+        points = make_blobs(n=80, seed=4)
+        for position in (4, 6, 8, 10):  # all land in shard 0 of 2
+            points[position] = np.array([1e6, 1e6])
+        metric = FlakyMetric(EuclideanDistance(), failure_rate=0.0, poison=poisoned)
+        model = BUBBLE(metric, max_nodes=12, seed=3, n_shards=2)
+        with pytest.raises(QuarantineOverflowError):
+            model.fit(points, on_error="quarantine", max_quarantine=2)
+
+
+class TestBudget:
+    def test_budget_too_small_to_shard(self):
+        metric = GuardedMetric(EuclideanDistance(), max_calls=3)
+        model = BUBBLE(metric, max_nodes=12, seed=3, n_shards=4)
+        with pytest.raises(MetricBudgetExceededError, match="too small to shard"):
+            model.fit(make_blobs(n=40))
+
+    def test_generous_budget_respected_globally(self):
+        points = make_blobs(n=100)
+        metric = GuardedMetric(EuclideanDistance(), max_calls=500_000)
+        model = BUBBLE(metric, max_nodes=12, seed=3, n_shards=3).fit(points)
+        assert model.ingest_report_.n_distance_calls == metric.n_calls
+        assert metric.n_calls <= 500_000
+
+
+class TestValidation:
+    def test_checkpoint_incompatible(self, tmp_path):
+        model = BUBBLE(EuclideanDistance(), n_shards=2)
+        with pytest.raises(ParameterError, match="checkpoint"):
+            model.fit(make_blobs(n=20), checkpoint_path=tmp_path / "ck.pkl")
+
+    def test_generator_seed_rejected(self):
+        model = BUBBLE(
+            EuclideanDistance(), seed=np.random.default_rng(0), n_shards=2
+        )
+        with pytest.raises(ParameterError, match="Generator"):
+            model.fit(make_blobs(n=20))
+
+    def test_unpicklable_metric_named(self):
+        from repro.metrics import FunctionDistance
+
+        metric = FunctionDistance(lambda a, b: float(abs(a - b)))
+        model = BUBBLE(metric, n_shards=2)
+        with pytest.raises(ParameterError, match="pickle"):
+            model.fit([float(i) for i in range(20)])
+
+    def test_empty_input_rejected(self):
+        model = BUBBLE(EuclideanDistance(), n_shards=2)
+        with pytest.raises(EmptyDatasetError):
+            model.fit([])
+
+    def test_parallel_fit_validates_on_error(self):
+        model = BUBBLE(EuclideanDistance(), n_shards=2)
+        with pytest.raises(ParameterError, match="on_error"):
+            parallel_fit(model, make_blobs(n=10), on_error="ignore")
+
+
+class TestParallelMatrix:
+    def test_small_input_delegates_sequential(self):
+        metric = EuclideanDistance()
+        objects = make_blobs(n=10)
+        matrix = pairwise_matrix(metric, objects, n_jobs=4)
+        np.testing.assert_allclose(matrix, EuclideanDistance().pairwise(objects))
+        assert metric.n_calls == 10 * 9 // 2
+
+    def test_pool_matches_sequential_values_and_ncd(self):
+        objects = make_blobs(n=70, seed=8)
+        sequential = EuclideanDistance()
+        expected = sequential.pairwise(objects)
+        metric = EuclideanDistance()
+        matrix = pairwise_matrix(metric, objects, n_jobs=2)
+        np.testing.assert_allclose(matrix, expected)
+        assert metric.n_calls == sequential.n_calls == 70 * 69 // 2
+
+    def test_string_metric_through_cache(self):
+        words = [f"word{i:03d}" for i in range(30)]
+        metric = CachedDistance(EditDistance())
+        matrix = pairwise_matrix(metric, words, n_jobs=1)
+        assert matrix.shape == (30, 30)
+        assert np.all(matrix == matrix.T)
