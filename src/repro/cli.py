@@ -127,7 +127,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     fault.add_argument(
         "--checkpoint", default=None, metavar="PATH",
-        help="write a resumable tree snapshot here during the scan",
+        help="write a resumable tree snapshot here during the scan "
+             "(with --jobs > 1: a directory of per-shard checkpoints)",
     )
     fault.add_argument(
         "--checkpoint-every", type=int, default=1000, metavar="N",
@@ -135,7 +136,23 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     fault.add_argument(
         "--resume-from", default=None, metavar="PATH",
-        help="resume an interrupted scan from this checkpoint",
+        help="resume an interrupted scan from this checkpoint "
+             "(sharded runs resume from the checkpoint directory, "
+             "with the same shard count)",
+    )
+    fault.add_argument(
+        "--shard-retries", type=int, default=2, metavar="N",
+        help="retry a crashed/hung/aborted shard up to N times before "
+             "falling back to an in-process run (default 2; sharded builds)",
+    )
+    fault.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="S",
+        help="kill and retry any shard worker running longer than S seconds",
+    )
+    fault.add_argument(
+        "--shard-backoff", type=float, default=0.25, metavar="S",
+        help="base delay between shard retries, doubled per attempt "
+             "(default 0.25)",
     )
 
     auth = sub.add_parser("authority", help="build an authority file from records")
@@ -180,7 +197,11 @@ def _build_parser() -> argparse.ArgumentParser:
     st = sub.add_parser(
         "stats", help="print tree/NCD statistics of a scan checkpoint"
     )
-    st.add_argument("checkpoint", help="checkpoint file written during a scan")
+    st.add_argument(
+        "checkpoint",
+        help="checkpoint file written during a scan, or a sharded "
+             "checkpoint directory from a parallel build",
+    )
     st.add_argument("--type", choices=["vectors", "strings"], required=True)
     st.add_argument("--metric", default=None,
                     help="euclidean|manhattan (vectors), edit|damerau (strings)")
@@ -307,6 +328,9 @@ def _cmd_cluster(args) -> int:
             resume_from=args.resume_from,
             tracer=tracer,
             n_jobs=args.jobs,
+            max_shard_retries=args.shard_retries,
+            shard_timeout_seconds=args.shard_timeout,
+            shard_retry_backoff=args.shard_backoff,
         )
     except (MetricBudgetExceededError, DeadlineExceededError, QuarantineOverflowError) as exc:
         tracer.close()
@@ -333,6 +357,9 @@ def _cmd_cluster(args) -> int:
         or report.n_metric_faults
         or report.n_checkpoints
         or report.resumed_at is not None
+        or report.shards_retried
+        or report.workers_crashed
+        or report.shards_resumed
     ):
         print("--- ingest report ---")
         print(report.format())
@@ -454,40 +481,110 @@ def _cmd_audit(args) -> int:
     return 0 if report.ok else 1
 
 
-def _cmd_stats(args) -> int:
-    import json as _json
-
+def _load_snapshot(path: str, metric):
+    """(snapshot, algorithm, cursor) of one sequential checkpoint file."""
     from repro.core.cftree import CFTree
     from repro.exceptions import CheckpointError
     from repro.observability import StatsSnapshot
     from repro.persistence import load_checkpoint
 
+    ck = load_checkpoint(path, metric=metric)
+    if not isinstance(ck.tree, CFTree):
+        raise CheckpointError("checkpoint does not hold a CF*-tree")
+    snapshot = StatsSnapshot.from_tree(ck.tree, metric=metric)
+    # The freshly attached metric has counted nothing; the scan's NCD lives
+    # in the checkpointed ingest report.
+    report = ck.state.get("report") or {}
+    snapshot.ncd_total = int(report.get("n_distance_calls", snapshot.ncd_total))
+    snapshot.apply_report(report)
+    return snapshot, ck.metadata.get("algorithm", "?"), ck.cursor
+
+
+def _cmd_stats_sharded(args, metric) -> int:
+    """``repro stats`` on a sharded checkpoint directory: manifest summary
+    plus one row (or JSON record) per shard checkpoint present so far."""
+    import json as _json
+    import os
+
+    from repro.exceptions import CheckpointError
+    from repro.persistence import load_shard_manifest, shard_checkpoint_file
+
+    try:
+        manifest = load_shard_manifest(args.checkpoint)
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    n_shards = int(manifest["n_shards"])
+    shards = []
+    for shard_id in range(n_shards):
+        path = shard_checkpoint_file(args.checkpoint, shard_id)
+        if not os.path.exists(path):
+            shards.append((shard_id, None, None))
+            continue
+        try:
+            snapshot, _, cursor = _load_snapshot(path, metric)
+        except CheckpointError as exc:
+            print(f"error: shard {shard_id}: {exc}", file=sys.stderr)
+            return 2
+        shards.append((shard_id, snapshot, cursor))
+    if args.json:
+        doc = {
+            "sharded": True,
+            "algorithm": manifest.get("algorithm", "?"),
+            "n_shards": n_shards,
+            "seed": manifest.get("seed"),
+            "checkpoint_every": manifest.get("checkpoint_every"),
+            "shards": [
+                {"shard": shard_id, "cursor": cursor, **snapshot.to_dict()}
+                if snapshot is not None
+                else {"shard": shard_id, "cursor": None}
+                for shard_id, snapshot, cursor in shards
+            ],
+        }
+        print(_json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    present = sum(1 for _, snapshot, _ in shards if snapshot is not None)
+    print(
+        f"sharded checkpoint: {manifest.get('algorithm', '?')}, "
+        f"{present}/{n_shards} shard checkpoint(s) present"
+    )
+    for shard_id, snapshot, cursor in shards:
+        if snapshot is None:
+            print(f"shard {shard_id}: no checkpoint yet")
+            continue
+        print(
+            f"shard {shard_id}: cursor {cursor}, {snapshot.n_objects} objects, "
+            f"{snapshot.n_clusters} sub-clusters, T={snapshot.threshold:.6g}, "
+            f"{snapshot.ncd_total} distance calls"
+        )
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    import json as _json
+
+    from repro.exceptions import CheckpointError
+    from repro.persistence import is_sharded_checkpoint
+
     metric = _make_metric(args.type, args.metric)
     if metric is None:
         return 2
+    if is_sharded_checkpoint(args.checkpoint):
+        return _cmd_stats_sharded(args, metric)
     try:
-        ck = load_checkpoint(args.checkpoint, metric=metric)
+        snapshot, algorithm, cursor = _load_snapshot(args.checkpoint, metric)
     except CheckpointError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except FileNotFoundError as exc:
         print(f"error: cannot read checkpoint: {exc}", file=sys.stderr)
         return 2
-    if not isinstance(ck.tree, CFTree):
-        print("error: checkpoint does not hold a CF*-tree", file=sys.stderr)
-        return 2
-    snapshot = StatsSnapshot.from_tree(ck.tree, metric=metric)
-    # The freshly attached metric has counted nothing; the scan's NCD lives
-    # in the checkpointed ingest report.
-    report = ck.state.get("report") or {}
-    snapshot.ncd_total = int(report.get("n_distance_calls", snapshot.ncd_total))
-    algorithm = ck.metadata.get("algorithm", "?")
     if args.json:
-        doc = {"algorithm": algorithm, "cursor": ck.cursor}
+        doc = {"algorithm": algorithm, "cursor": cursor}
         doc.update(snapshot.to_dict())
         print(_json.dumps(doc, indent=2, sort_keys=True))
     else:
-        print(f"checkpoint: {algorithm} at cursor {ck.cursor}")
+        print(f"checkpoint: {algorithm} at cursor {cursor}")
         print(snapshot.format())
     return 0
 

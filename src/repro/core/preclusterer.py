@@ -121,6 +121,19 @@ class PreClusterer:
         Logical shard count of the parallel build — the determinism-
         bearing knob: for a fixed ``(seed, n_shards)`` the merged tree is
         identical whatever ``n_jobs`` executes it. Defaults to ``n_jobs``.
+    max_shard_retries:
+        Recoverable shard failures (worker crash, timeout, budget abort,
+        metric exception) are retried up to this many times with
+        exponential backoff before the shard is re-run inline in the
+        parent as a last resort. 0 disables retries (the inline fallback
+        still runs).
+    shard_timeout_seconds:
+        Per-shard wall-clock limit in a parallel build: a worker
+        exceeding it is killed and its shard retried. ``None`` (default)
+        never times a worker out.
+    shard_retry_backoff:
+        Base delay of the exponential backoff between shard retries
+        (doubles per attempt).
     """
 
     def __init__(
@@ -140,6 +153,9 @@ class PreClusterer:
         hint_chunk: int = DEFAULT_HINT_CHUNK,
         n_jobs: int = 1,
         n_shards: int | None = None,
+        max_shard_retries: int = 2,
+        shard_timeout_seconds: float | None = None,
+        shard_retry_backoff: float = 0.25,
     ):
         self.metric = metric
         self.tracer = tracer
@@ -161,6 +177,19 @@ class PreClusterer:
         if n_shards is not None:
             n_shards = check_integer(n_shards, "n_shards", minimum=1)
         self.n_shards = n_shards
+        self.max_shard_retries = check_integer(
+            max_shard_retries, "max_shard_retries", minimum=0
+        )
+        if shard_timeout_seconds is not None and shard_timeout_seconds <= 0:
+            raise ParameterError(
+                f"shard_timeout_seconds must be > 0, got {shard_timeout_seconds}"
+            )
+        self.shard_timeout_seconds = shard_timeout_seconds
+        if shard_retry_backoff < 0:
+            raise ParameterError(
+                f"shard_retry_backoff must be >= 0, got {shard_retry_backoff}"
+            )
+        self.shard_retry_backoff = float(shard_retry_backoff)
         #: The raw seed argument, kept so a sharded build can derive
         #: independent, reproducible per-shard seeds from it.
         self._seed = seed
@@ -224,7 +253,10 @@ class PreClusterer:
         checkpoint_path:
             When set, a full tree snapshot is written here (atomically)
             every ``checkpoint_every`` objects via
-            :func:`repro.persistence.save_checkpoint`.
+            :func:`repro.persistence.save_checkpoint`. For a sharded
+            build (``n_jobs > 1`` or ``n_shards`` set) this is a
+            *directory*: each worker checkpoints its own shard into it,
+            next to a manifest pinning the partition.
         checkpoint_every:
             Snapshot period, in objects consumed from the stream.
         resume_from:
@@ -233,15 +265,12 @@ class PreClusterer:
             quarantine buffer, and report are restored, and the first
             ``cursor`` objects of ``objects`` are skipped, so the resumed
             run reproduces the uninterrupted one exactly (same seed, same
-            metric).
+            metric). A sharded build resumes from a sharded checkpoint
+            directory written with the same ``n_shards``, algorithm, and
+            seed; mixing sequential and sharded checkpoints raises
+            :class:`~repro.exceptions.CheckpointError`.
         """
         if self.n_jobs > 1 or self.n_shards is not None:
-            if checkpoint_path is not None or resume_from is not None:
-                raise ParameterError(
-                    "checkpointing is not supported for a sharded build "
-                    "(shards already fault-isolate the scan); run with "
-                    "n_jobs=1 and n_shards=None to checkpoint"
-                )
             from repro.parallel import parallel_fit
 
             parallel_fit(
@@ -249,6 +278,9 @@ class PreClusterer:
                 objects,
                 on_error=on_error,
                 max_quarantine=max_quarantine,
+                checkpoint_path=checkpoint_path,
+                checkpoint_every=checkpoint_every,
+                resume_from=resume_from,
             )
             return self
         if resume_from is not None:
@@ -644,6 +676,9 @@ class BUBBLEFM(PreClusterer):
         hint_chunk: int = DEFAULT_HINT_CHUNK,
         n_jobs: int = 1,
         n_shards: int | None = None,
+        max_shard_retries: int = 2,
+        shard_timeout_seconds: float | None = None,
+        shard_retry_backoff: float = 0.25,
     ):
         super().__init__(
             metric,
@@ -661,6 +696,9 @@ class BUBBLEFM(PreClusterer):
             hint_chunk=hint_chunk,
             n_jobs=n_jobs,
             n_shards=n_shards,
+            max_shard_retries=max_shard_retries,
+            shard_timeout_seconds=shard_timeout_seconds,
+            shard_retry_backoff=shard_retry_backoff,
         )
         self.image_dim = image_dim
         self.fm_iterations = fm_iterations

@@ -18,6 +18,7 @@ __all__ = [
     "QuarantineOverflowError",
     "CheckpointError",
     "TreeInvariantError",
+    "WorkerCrashError",
 ]
 
 
@@ -84,6 +85,18 @@ class CheckpointError(ReproError, ValueError):
     Raised by :func:`repro.persistence.load_checkpoint` and by
     ``fit(..., resume_from=...)`` when the snapshot cannot be restored
     (wrong format version, truncated payload, or an algorithm mismatch).
+    """
+
+
+class WorkerCrashError(ReproError, RuntimeError):
+    """A shard worker process died or hung during a parallel build.
+
+    Raised by the shard supervisor (:mod:`repro.parallel.pool`) when a
+    worker exits without delivering its result (SIGKILL, OOM kill, hard
+    crash in native code) or overruns its per-shard timeout. The failed
+    shard is retried with exponential backoff up to ``max_shard_retries``
+    and finally re-executed inline in the parent; this exception only
+    reaches the caller when every recovery path failed too.
     """
 
 

@@ -63,6 +63,14 @@ class StatsSnapshot:
     #: Pruned-routing counters (:class:`repro.core.routing.PruningStats`
     #: as a dict; ``None`` when the policy has no pruning engine).
     pruning: dict[str, int] | None = None
+    #: Shard attempts retried during a fault-tolerant parallel build.
+    shards_retried: int = 0
+    #: Worker processes that crashed or were killed for timing out.
+    workers_crashed: int = 0
+    #: Shards that resumed from a per-shard checkpoint.
+    shards_resumed: int = 0
+    #: Total exponential-backoff delay scheduled between shard retries.
+    backoff_seconds_total: float = 0.0
 
     @classmethod
     def from_tree(
@@ -110,7 +118,24 @@ class StatsSnapshot:
         """Snapshot a fitted driver (``BUBBLE``/``BUBBLEFM``)."""
         if tracer is None:
             tracer = getattr(model, "tracer", None)
-        return cls.from_tree(model.tree_, metric=model.metric, tracer=tracer)
+        snapshot = cls.from_tree(model.tree_, metric=model.metric, tracer=tracer)
+        report = getattr(model, "ingest_report_", None)
+        if report is not None:
+            snapshot.apply_report(report)
+        return snapshot
+
+    def apply_report(self, report: Any) -> None:
+        """Pull fault-tolerance counters from an ingest report (object or
+        ``to_dict()`` payload)."""
+        if isinstance(report, dict):
+            get = report.get
+        else:
+            def get(name: str, default: Any = 0) -> Any:
+                return getattr(report, name, default)
+        self.shards_retried = int(get("shards_retried", 0) or 0)
+        self.workers_crashed = int(get("workers_crashed", 0) or 0)
+        self.shards_resumed = int(get("shards_resumed", 0) or 0)
+        self.backoff_seconds_total = float(get("backoff_seconds_total", 0.0) or 0.0)
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-compatible dict (what the harness and sinks embed)."""
@@ -130,6 +155,10 @@ class StatsSnapshot:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "pruning": dict(self.pruning) if self.pruning is not None else None,
+            "shards_retried": self.shards_retried,
+            "workers_crashed": self.workers_crashed,
+            "shards_resumed": self.shards_resumed,
+            "backoff_seconds_total": self.backoff_seconds_total,
         }
 
     def format(self) -> str:
@@ -160,6 +189,11 @@ class StatsSnapshot:
             rows.append(
                 ("pruning maintenance", str(self.pruning.get("maintenance_evals", 0)))
             )
+        if self.shards_retried or self.workers_crashed or self.shards_resumed:
+            rows.append(("shard retries", str(self.shards_retried)))
+            rows.append(("worker crashes", str(self.workers_crashed)))
+            rows.append(("shards resumed", str(self.shards_resumed)))
+            rows.append(("retry backoff", f"{self.backoff_seconds_total:.2f}s"))
         width = max(len(k) for k, _ in rows)
         lines = [f"{k:<{width}}  {v}" for k, v in rows]
         if self.ncd_by_site:

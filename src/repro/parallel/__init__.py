@@ -14,12 +14,19 @@ and ``n_shards=`` and route their ``fit`` through :func:`parallel_fit`;
 ``cluster_dataset`` and the CLI's ``--jobs`` thread the same knob through
 the whole pipeline. See ``docs/performance.md`` ("Parallel build") for
 shard/merge semantics, determinism guarantees, and quality caveats.
+
+Shards execute under the :class:`~repro.parallel.pool.ShardSupervisor`,
+which survives worker crashes, hangs, and per-shard budget aborts via
+retry-with-backoff, inline fallback, per-shard checkpoints, and pool-wide
+deadline supervision — see ``docs/robustness.md`` ("Fault-tolerant
+parallel builds").
 """
 
 from __future__ import annotations
 
 from repro.parallel.build import parallel_fit, resolve_n_shards
 from repro.parallel.matrix import pairwise_matrix
+from repro.parallel.pool import ShardFailure, ShardSupervisor, SupervisorStats
 from repro.parallel.shard import global_index, shard_objects
 from repro.parallel.worker import ShardResult, ShardTask, run_shard
 
@@ -31,5 +38,8 @@ __all__ = [
     "global_index",
     "ShardTask",
     "ShardResult",
+    "ShardFailure",
+    "ShardSupervisor",
+    "SupervisorStats",
     "run_shard",
 ]

@@ -17,11 +17,12 @@ metric on arrival — exactly how checkpoint resume re-homes a tree.
 from __future__ import annotations
 
 import io
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.exceptions import EmptyDatasetError
+from repro.exceptions import CheckpointError, EmptyDatasetError
 from repro.metrics.base import (
     CallLedger,
     DistanceFunction,
@@ -29,6 +30,7 @@ from repro.metrics.base import (
     deactivate_ledger,
 )
 from repro.persistence import _MetricStrippingPickler
+from repro.robustness.injection import ChaosPolicy
 from repro.utils.proc import peak_rss_kb
 
 __all__ = ["ShardTask", "ShardResult", "run_shard"]
@@ -59,6 +61,17 @@ class ShardTask:
     #: This shard's slice of a guarded metric's NCD budget (``None`` when
     #: the parent metric is unbudgeted).
     max_calls: int | None = None
+    #: Zero-based attempt number (the supervisor bumps this on retries).
+    attempt: int = 0
+    #: Where this shard writes its atomic checkpoints (``None`` disables).
+    checkpoint_path: str | None = None
+    #: Checkpoint cadence in objects, as in sequential ``fit``.
+    checkpoint_every: int = 1000
+    #: Shard checkpoint to resume from (``None`` for a fresh scan). A
+    #: missing file is not an error — the shard simply rescans from zero.
+    resume_from: str | None = None
+    #: Seeded fault schedule for chaos drills (``None`` in production).
+    chaos: ChaosPolicy | None = None
 
 
 @dataclass
@@ -87,6 +100,10 @@ class ShardResult:
     elapsed_seconds: float = 0.0
     #: Worker peak RSS in KiB.
     peak_rss_kb: int = 0
+    #: Scan cursor restored from the shard checkpoint (``None`` = fresh).
+    resumed_at: int | None = None
+    #: True when a resume checkpoint was unreadable and discarded.
+    checkpoint_discarded: bool = False
 
 
 def run_shard(task: ShardTask) -> ShardResult:
@@ -94,6 +111,11 @@ def run_shard(task: ShardTask) -> ShardResult:
     shard tree's leaf CF*s for the deterministic merge."""
     start = time.perf_counter()
     metric = task.metric
+    if task.chaos is not None:
+        # Chaos drills splice their flaky/slow wrappers *under* any guard
+        # in the chain, so the injected faults hit the same machinery real
+        # faults would.
+        metric = task.chaos.wrap_metric(metric, task.shard_id, task.attempt)
     metric.reset_counter()
     if task.max_calls is not None:
         # A guarded metric: open a fresh budget window sized to this
@@ -102,16 +124,48 @@ def run_shard(task: ShardTask) -> ShardResult:
         if reset_budget is not None:
             reset_budget()
             metric.max_calls = task.max_calls  # type: ignore[attr-defined]
+
+    def stream() -> Any:
+        if task.chaos is not None:
+            return task.chaos.stream(task.objects, task.shard_id, task.attempt)
+        return task.objects
+
+    resume_from = task.resume_from
+    if resume_from is not None and not os.path.exists(resume_from):
+        # The shard died before its first checkpoint: nothing to resume.
+        resume_from = None
+
     model = task.driver(metric, seed=task.seed, **task.params)
+    checkpoint_discarded = False
     ledger = CallLedger()
     previous = activate_ledger(ledger)
     try:
         try:
-            model.fit(
-                task.objects,
-                on_error=task.on_error,
-                max_quarantine=task.max_quarantine,
-            )
+            try:
+                model.fit(
+                    stream(),
+                    on_error=task.on_error,
+                    max_quarantine=task.max_quarantine,
+                    checkpoint_path=task.checkpoint_path,
+                    checkpoint_every=task.checkpoint_every,
+                    resume_from=resume_from,
+                )
+            except CheckpointError:
+                if resume_from is None:
+                    raise
+                # Corrupt or incompatible shard checkpoint: recovery is a
+                # rescan from zero, not a build failure. The restore fails
+                # before any object is consumed, so a fresh driver replays
+                # the shard exactly.
+                checkpoint_discarded = True
+                model = task.driver(metric, seed=task.seed, **task.params)
+                model.fit(
+                    stream(),
+                    on_error=task.on_error,
+                    max_quarantine=task.max_quarantine,
+                    checkpoint_path=task.checkpoint_path,
+                    checkpoint_every=task.checkpoint_every,
+                )
             tree = model.tree_
             features = tree.leaf_features()
             threshold = tree.threshold
@@ -139,4 +193,6 @@ def run_shard(task: ShardTask) -> ShardResult:
         pruning=dict(pruning_stats.as_dict()) if pruning_stats is not None else {},
         elapsed_seconds=time.perf_counter() - start,
         peak_rss_kb=peak_rss_kb(),
+        resumed_at=model.ingest_report_.resumed_at,
+        checkpoint_discarded=checkpoint_discarded,
     )

@@ -41,6 +41,10 @@ __all__ = [
     "save_checkpoint",
     "load_checkpoint",
     "Checkpoint",
+    "is_sharded_checkpoint",
+    "load_shard_manifest",
+    "save_shard_manifest",
+    "shard_checkpoint_file",
 ]
 
 _FORMAT_VERSION = 1
@@ -261,6 +265,12 @@ def load_checkpoint(path: str | os.PathLike, metric: DistanceFunction) -> Checkp
     """
     if not isinstance(metric, DistanceFunction):
         raise ParameterError("metric must be a DistanceFunction")
+    if os.path.isdir(path):
+        raise CheckpointError(
+            f"{os.fspath(path)!r} is a sharded checkpoint directory, not a "
+            "sequential checkpoint file; resume it with a sharded build "
+            "(n_jobs/n_shards) using the same n_shards it was written with"
+        )
     try:
         with open(path, "rb") as f:
             payload = _MetricRestoringUnpickler(f, metric).load()
@@ -288,3 +298,82 @@ def load_checkpoint(path: str | os.PathLike, metric: DistanceFunction) -> Checkp
         state=payload.get("state", {}),
         metadata=payload.get("metadata", {}),
     )
+
+
+# ----------------------------------------------------------------------
+# Sharded checkpoints (parallel builds)
+# ----------------------------------------------------------------------
+#
+# A sharded build checkpoints into a *directory*: one manifest describing
+# the partition (so a resume can verify it reproduces the same shards) plus
+# one ordinary checkpoint file per shard, each written atomically by its
+# worker through save_checkpoint. Any shard file may be missing (that shard
+# never reached its first checkpoint) — a resume simply rescans it.
+
+_MANIFEST_VERSION = 1
+_MANIFEST_NAME = "manifest.json"
+
+
+def shard_checkpoint_file(directory: str | os.PathLike, shard_id: int) -> str:
+    """Path of shard ``shard_id``'s checkpoint inside a sharded directory."""
+    return os.path.join(os.fspath(directory), f"shard-{int(shard_id):04d}.ckpt")
+
+
+def is_sharded_checkpoint(path: str | os.PathLike) -> bool:
+    """True when ``path`` is a sharded checkpoint directory (has a manifest)."""
+    return os.path.isdir(path) and os.path.exists(
+        os.path.join(os.fspath(path), _MANIFEST_NAME)
+    )
+
+
+def save_shard_manifest(directory: str | os.PathLike, manifest: dict) -> None:
+    """Atomically write a sharded build's manifest, creating the directory.
+
+    The manifest pins everything that determines the partition — shard
+    count, algorithm, seed — so :func:`load_shard_manifest` callers can
+    refuse a resume that would silently redistribute objects.
+    """
+    directory = os.fspath(directory)
+    os.makedirs(directory, exist_ok=True)
+    doc = dict(manifest)
+    doc["format_version"] = _MANIFEST_VERSION
+    path = os.path.join(directory, _MANIFEST_NAME)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w", encoding="utf-8") as f:
+            json.dump(doc, f)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):  # pragma: no cover - crash-path cleanup
+            os.unlink(tmp)
+
+
+def load_shard_manifest(directory: str | os.PathLike) -> dict:
+    """Read and validate the manifest of a sharded checkpoint directory."""
+    directory = os.fspath(directory)
+    if not os.path.isdir(directory):
+        raise CheckpointError(
+            f"{directory!r} is not a sharded checkpoint directory; a "
+            "sequential checkpoint file cannot seed a sharded build (its "
+            "single tree cannot be split back into shards)"
+        )
+    path = os.path.join(directory, _MANIFEST_NAME)
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as exc:
+        raise CheckpointError(
+            f"sharded checkpoint {directory!r} has no readable manifest: {exc}"
+        ) from exc
+    except ValueError as exc:
+        raise CheckpointError(
+            f"sharded checkpoint manifest {path!r} is corrupt: {exc}"
+        ) from exc
+    if not isinstance(doc, dict) or doc.get("format_version") != _MANIFEST_VERSION:
+        raise CheckpointError(
+            f"unsupported shard manifest version in {path!r} "
+            f"(this build reads version {_MANIFEST_VERSION})"
+        )
+    return doc

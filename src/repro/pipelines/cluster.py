@@ -106,6 +106,9 @@ def cluster_dataset(
     tracer: NullTracer = NULL_TRACER,
     n_jobs: int = 1,
     n_shards: int | None = None,
+    max_shard_retries: int = 2,
+    shard_timeout_seconds: float | None = None,
+    shard_retry_backoff: float = 0.25,
 ) -> ClusteringResult:
     """Run the complete pre-cluster → global-phase → label pipeline.
 
@@ -143,8 +146,14 @@ def cluster_dataset(
     chunked ``cross()`` blocks across the pool before being handed to the
     hierarchical clusterer. CLARANS keeps its sequential adaptive search —
     it measures a data-dependent subset of pairs, so precomputing the full
-    matrix would *increase* NCD. Requires a picklable metric; incompatible
-    with ``checkpoint_path``/``resume_from``.
+    matrix would *increase* NCD. Requires a picklable metric. With
+    ``checkpoint_path``/``resume_from`` the sharded build keeps per-shard
+    checkpoints in a directory (see :meth:`PreClusterer.fit`).
+
+    ``max_shard_retries``, ``shard_timeout_seconds`` and
+    ``shard_retry_backoff`` tune the sharded build's worker-crash recovery
+    (see ``docs/robustness.md``, "Fault-tolerant parallel builds"); they
+    are inert when ``n_jobs == 1`` and ``n_shards`` is unset.
     """
     if algorithm not in _ALGORITHMS:
         raise ParameterError(f"algorithm must be one of {_ALGORITHMS}, got {algorithm!r}")
@@ -168,6 +177,9 @@ def cluster_dataset(
         tracer=tracer,
         n_jobs=n_jobs,
         n_shards=n_shards,
+        max_shard_retries=max_shard_retries,
+        shard_timeout_seconds=shard_timeout_seconds,
+        shard_retry_backoff=shard_retry_backoff,
     )
     if algorithm == "bubble":
         model: PreClusterer = BUBBLE(metric, **common)

@@ -10,16 +10,24 @@ drills. Checkpoint/resume of the scan itself lives in
 """
 
 from repro.robustness.guarded import GuardedMetric, MetricFault
-from repro.robustness.injection import FaultInjector, FlakyMetric, InjectedFaultError
+from repro.robustness.injection import (
+    ChaosPolicy,
+    FaultInjector,
+    FlakyMetric,
+    InjectedFaultError,
+    SlowMetric,
+)
 from repro.robustness.quarantine import Quarantine, QuarantinedObject
 from repro.robustness.report import IngestReport
 
 __all__ = [
     "GuardedMetric",
     "MetricFault",
+    "ChaosPolicy",
     "FaultInjector",
     "FlakyMetric",
     "InjectedFaultError",
+    "SlowMetric",
     "Quarantine",
     "QuarantinedObject",
     "IngestReport",

@@ -212,12 +212,14 @@ class GuardedMetric(DistanceFunction):
             return None
         return max(self.max_calls - self._n_calls, 0)
 
-    def _check_budget(self, upcoming: int) -> None:
-        if self.max_calls is not None and self._n_calls + upcoming > self.max_calls:
-            raise MetricBudgetExceededError(
-                f"distance-call budget exhausted: {self._n_calls} calls made, "
-                f"{upcoming} more requested, budget is {self.max_calls}"
-            )
+    @property
+    def remaining_seconds(self) -> float | None:
+        """Wall-clock seconds left before the deadline (``None`` when unset)."""
+        if self.deadline_seconds is None:
+            return None
+        return max(self.deadline_seconds - (self._clock() - self._start), 0.0)
+
+    def _check_deadline(self) -> None:
         if self.deadline_seconds is not None:
             elapsed = self._clock() - self._start
             if elapsed > self.deadline_seconds:
@@ -225,6 +227,14 @@ class GuardedMetric(DistanceFunction):
                     f"wall-clock deadline of {self.deadline_seconds:.3g}s "
                     f"exceeded ({elapsed:.3g}s elapsed)"
                 )
+
+    def _check_budget(self, upcoming: int) -> None:
+        if self.max_calls is not None and self._n_calls + upcoming > self.max_calls:
+            raise MetricBudgetExceededError(
+                f"distance-call budget exhausted: {self._n_calls} calls made, "
+                f"{upcoming} more requested, budget is {self.max_calls}"
+            )
+        self._check_deadline()
 
     def count_external(self, n: int, site: str | None = None) -> None:
         """Absorb worker-side calls *against the budget*.
@@ -324,26 +334,54 @@ class GuardedMetric(DistanceFunction):
                 raise MetricValueError(f"metric {self.inner.name!r} is asymmetric: {detail}")
         return value
 
+    def _batch_fits_budget(self, upcoming: int) -> bool:
+        return self.max_calls is None or self._n_calls + upcoming <= self.max_calls
+
+    def _validated_batch(self, raw: Any, shape: tuple[int, ...]) -> np.ndarray | None:
+        """Coerce a raw batch-kernel result; ``None`` means "fall back"."""
+        if raw is None:
+            return None
+        out = np.asarray(raw, dtype=np.float64)
+        if out.shape != shape:
+            return None
+        out[(out < 0.0) & (out >= -_NEGATIVE_TOLERANCE)] = 0.0
+        if bool(np.all(np.isfinite(out)) and np.all(out >= 0.0)):
+            return out
+        return None
+
+    def _guarded_pair(self, a: Any, b: Any) -> float:
+        """One budget-checked, counted, policy-guarded evaluation.
+
+        This is the unit of the slow gather paths: an abort mid-gather
+        (budget or deadline) leaves the ledger charged only for the pairs
+        that were actually attempted.
+        """
+        self._check_budget(1)
+        self._count(1)
+        return self._guarded_eval(a, b)
+
     def one_to_many(self, obj: Any, objects: Sequence) -> np.ndarray:
         n = len(objects)
         if n == 0:
             return np.empty(0, dtype=np.float64)
-        self._check_budget(n)
-        self._count(n)
-        # Fast path: trust the inner batch kernel, validate the whole array.
-        try:
-            # Counted above; the raw batch hook is probed so a fault can fall
-            # back to guarded pair-by-pair evaluation without double counting.
-            out = np.asarray(self.inner._one_to_many(obj, objects), dtype=np.float64)  # reprolint: disable=RPL001
-        except Exception:
-            out = None
-        if out is not None and out.shape == (n,):
-            out[(out < 0.0) & (out >= -_NEGATIVE_TOLERANCE)] = 0.0
-            if bool(np.all(np.isfinite(out)) and np.all(out >= 0.0)):
+        self._check_budget(0)  # deadline gate before any work
+        if self._batch_fits_budget(n):
+            # Fast path: probe the inner batch kernel uncounted, validate the
+            # whole array, and charge the ledger only when it is usable — so a
+            # faulty kernel falls back to guarded pair-by-pair evaluation
+            # without double counting.
+            try:
+                raw = self.inner._one_to_many(obj, objects)  # reprolint: disable=RPL001
+            except Exception:
+                raw = None
+            out = self._validated_batch(raw, (n,))
+            if out is not None:
+                self._count(n)
                 return out
-        # Slow path: re-measure pair by pair under the fault policy.
+        # Slow path (faulty kernel, or the budget cannot cover the batch):
+        # measure pair by pair, budgeting and counting each evaluation.
         return np.fromiter(
-            (self._guarded_eval(obj, o) for o in objects),
+            (self._guarded_pair(obj, o) for o in objects),
             dtype=np.float64,
             count=n,
         )
@@ -351,22 +389,22 @@ class GuardedMetric(DistanceFunction):
     def pairwise(self, objects: Sequence) -> np.ndarray:
         n = len(objects)
         pairs = n * (n - 1) // 2
-        if pairs:
-            self._check_budget(pairs)
-            self._count(pairs)
-        try:
-            # Same pattern as one_to_many: counted above, raw hook probed.
-            out = np.asarray(self.inner._pairwise(objects), dtype=np.float64)  # reprolint: disable=RPL001
-        except Exception:
-            out = None
-        if out is not None and out.shape == (n, n):
-            out[(out < 0.0) & (out >= -_NEGATIVE_TOLERANCE)] = 0.0
-            if bool(np.all(np.isfinite(out)) and np.all(out >= 0.0)):
+        if pairs == 0:
+            return np.zeros((n, n), dtype=np.float64)
+        self._check_budget(0)
+        if self._batch_fits_budget(pairs):
+            try:
+                raw = self.inner._pairwise(objects)  # reprolint: disable=RPL001
+            except Exception:
+                raw = None
+            out = self._validated_batch(raw, (n, n))
+            if out is not None:
+                self._count(pairs)
                 return out
         result = np.zeros((n, n), dtype=np.float64)
         for i in range(n):
             for j in range(i + 1, n):
-                d = self._guarded_eval(objects[i], objects[j])
+                d = self._guarded_pair(objects[i], objects[j])
                 result[i, j] = d
                 result[j, i] = d
         return result
@@ -375,21 +413,20 @@ class GuardedMetric(DistanceFunction):
         na, nb = len(objects_a), len(objects_b)
         if na == 0 or nb == 0:
             return np.empty((na, nb), dtype=np.float64)
-        self._check_budget(na * nb)
-        self._count(na * nb)
-        try:
-            # Same pattern as one_to_many: counted above, raw hook probed.
-            out = np.asarray(self.inner._cross(objects_a, objects_b), dtype=np.float64)  # reprolint: disable=RPL001
-        except Exception:
-            out = None
-        if out is not None and out.shape == (na, nb):
-            out[(out < 0.0) & (out >= -_NEGATIVE_TOLERANCE)] = 0.0
-            if bool(np.all(np.isfinite(out)) and np.all(out >= 0.0)):
+        self._check_budget(0)
+        if self._batch_fits_budget(na * nb):
+            try:
+                raw = self.inner._cross(objects_a, objects_b)  # reprolint: disable=RPL001
+            except Exception:
+                raw = None
+            out = self._validated_batch(raw, (na, nb))
+            if out is not None:
+                self._count(na * nb)
                 return out
         result = np.empty((na, nb), dtype=np.float64)
         for i in range(na):
             for j in range(nb):
-                result[i, j] = self._guarded_eval(objects_a[i], objects_b[j])
+                result[i, j] = self._guarded_pair(objects_a[i], objects_b[j])
         return result
 
     # ------------------------------------------------------------------

@@ -39,6 +39,14 @@ class IngestReport:
     n_checkpoints: int = 0
     #: Scan cursor restored from a checkpoint (``None`` for a fresh scan).
     resumed_at: int | None = None
+    #: Shard attempts retried after a recoverable failure (parallel builds).
+    shards_retried: int = 0
+    #: Worker processes that died or were killed for overrunning a timeout.
+    workers_crashed: int = 0
+    #: Shards that restored state from a per-shard checkpoint.
+    shards_resumed: int = 0
+    #: Total exponential-backoff delay scheduled between shard retries.
+    backoff_seconds_total: float = 0.0
     #: Wall-clock seconds spent scanning (cumulative).
     elapsed_seconds: float = 0.0
 
@@ -62,7 +70,10 @@ class IngestReport:
         build's wall-clock time. ``n_distance_calls`` is likewise summed
         here but re-synced by the caller once the merge and any later
         phases have spent their own calls on the parent metric.
-        ``resumed_at`` does not survive merging (shards never resume).
+        ``resumed_at`` stays ``None`` (it is a sequential-scan cursor);
+        parallel resumes are counted in ``shards_resumed``, and the other
+        fault-tolerance counters (``shards_retried``, ``workers_crashed``,
+        ``backoff_seconds_total``) are filled in by the shard supervisor.
         """
         out = cls()
         for report in reports:
@@ -75,6 +86,10 @@ class IngestReport:
             out.n_distance_calls += report.n_distance_calls
             out.n_rebuilds += report.n_rebuilds
             out.n_checkpoints += report.n_checkpoints
+            out.shards_retried += report.shards_retried
+            out.workers_crashed += report.workers_crashed
+            out.shards_resumed += report.shards_resumed
+            out.backoff_seconds_total += report.backoff_seconds_total
             out.elapsed_seconds += report.elapsed_seconds
         return out
 
@@ -97,5 +112,12 @@ class IngestReport:
             lines.append(f"checkpoints written: {self.n_checkpoints}")
         if self.resumed_at is not None:
             lines.append(f"resumed at object:   {self.resumed_at}")
+        if self.shards_retried or self.workers_crashed or self.shards_resumed:
+            lines.append(
+                f"shard recovery:      {self.shards_retried} retries, "
+                f"{self.workers_crashed} worker crashes, "
+                f"{self.shards_resumed} shards resumed "
+                f"({self.backoff_seconds_total:.2f}s backoff)"
+            )
         lines.append(f"scan time:           {self.elapsed_seconds:.2f}s")
         return "\n".join(lines)

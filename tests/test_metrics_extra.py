@@ -62,7 +62,9 @@ class TestAngular:
         dab, dba = m.distance(a, b), m.distance(b, a)
         assert dab == pytest.approx(dba)
         assert 0.0 <= dab <= 1.0
-        assert dab <= m.distance(a, c) + m.distance(c, b) + 1e-9
+        # arccos is ill-conditioned near +/-1: each call can be off by
+        # ~sqrt(eps)/pi =~ 5e-9, so the slack must exceed a few of those.
+        assert dab <= m.distance(a, c) + m.distance(c, b) + 1e-7
 
 
 class TestCanberra:

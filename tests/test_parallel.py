@@ -277,10 +277,12 @@ class TestBudget:
 
 
 class TestValidation:
-    def test_checkpoint_incompatible(self, tmp_path):
+    def test_checkpoint_path_must_not_be_a_file(self, tmp_path):
+        target = tmp_path / "ck.pkl"
+        target.write_bytes(b"not a directory")
         model = BUBBLE(EuclideanDistance(), n_shards=2)
-        with pytest.raises(ParameterError, match="checkpoint"):
-            model.fit(make_blobs(n=20), checkpoint_path=tmp_path / "ck.pkl")
+        with pytest.raises(ParameterError, match="existing file"):
+            model.fit(make_blobs(n=20), checkpoint_path=target)
 
     def test_generator_seed_rejected(self):
         model = BUBBLE(
@@ -331,3 +333,112 @@ class TestParallelMatrix:
         matrix = pairwise_matrix(metric, words, n_jobs=1)
         assert matrix.shape == (30, 30)
         assert np.all(matrix == matrix.T)
+
+
+class TestShardedCheckpoint:
+    def test_checkpoint_dir_holds_manifest_and_shard_files(self, tmp_path):
+        from repro.persistence import (
+            is_sharded_checkpoint,
+            load_shard_manifest,
+            shard_checkpoint_file,
+        )
+
+        ckdir = tmp_path / "ck"
+        BUBBLE(EuclideanDistance(), max_nodes=12, seed=5, n_shards=3).fit(
+            make_blobs(n=90), checkpoint_path=ckdir, checkpoint_every=10
+        )
+        assert is_sharded_checkpoint(ckdir)
+        manifest = load_shard_manifest(ckdir)
+        assert manifest["n_shards"] == 3
+        assert manifest["algorithm"] == "BUBBLE"
+        assert manifest["seed"] == 5
+        for shard_id in range(3):
+            assert (tmp_path / "ck" / f"shard-{shard_id:04d}.ckpt").exists()
+            assert shard_checkpoint_file(ckdir, shard_id).endswith(
+                f"shard-{shard_id:04d}.ckpt"
+            )
+
+    def test_resume_completed_checkpoint_is_equivalent(self, tmp_path):
+        points = make_blobs(n=90)
+        ckdir = tmp_path / "ck"
+        clean = BUBBLE(EuclideanDistance(), max_nodes=12, seed=5, n_shards=3).fit(
+            points, checkpoint_path=ckdir, checkpoint_every=10
+        )
+        resumed = BUBBLE(EuclideanDistance(), max_nodes=12, seed=5, n_shards=3).fit(
+            points, resume_from=ckdir
+        )
+        assert tree_signature(clean.tree_) == tree_signature(resumed.tree_)
+        assert resumed.ingest_report_.shards_resumed >= 1
+
+    def test_resume_rejects_different_n_shards(self, tmp_path):
+        from repro.exceptions import CheckpointError
+
+        ckdir = tmp_path / "ck"
+        BUBBLE(EuclideanDistance(), max_nodes=12, seed=5, n_shards=3).fit(
+            make_blobs(n=60), checkpoint_path=ckdir
+        )
+        model = BUBBLE(EuclideanDistance(), max_nodes=12, seed=5, n_shards=2)
+        with pytest.raises(CheckpointError, match="n_shards"):
+            model.fit(make_blobs(n=60), resume_from=ckdir)
+
+    def test_resume_rejects_different_seed(self, tmp_path):
+        from repro.exceptions import CheckpointError
+
+        ckdir = tmp_path / "ck"
+        BUBBLE(EuclideanDistance(), max_nodes=12, seed=5, n_shards=2).fit(
+            make_blobs(n=60), checkpoint_path=ckdir
+        )
+        model = BUBBLE(EuclideanDistance(), max_nodes=12, seed=6, n_shards=2)
+        with pytest.raises(CheckpointError, match="seed"):
+            model.fit(make_blobs(n=60), resume_from=ckdir)
+
+    def test_resume_rejects_different_algorithm(self, tmp_path):
+        from repro.core.preclusterer import BUBBLEFM
+        from repro.exceptions import CheckpointError
+
+        ckdir = tmp_path / "ck"
+        BUBBLE(EuclideanDistance(), max_nodes=12, seed=5, n_shards=2).fit(
+            make_blobs(n=60), checkpoint_path=ckdir
+        )
+        model = BUBBLEFM(EuclideanDistance(), max_nodes=12, seed=5, n_shards=2)
+        with pytest.raises(CheckpointError, match="BUBBLE"):
+            model.fit(make_blobs(n=60), resume_from=ckdir)
+
+    def test_sequential_file_rejected_as_sharded_resume(self, tmp_path):
+        from repro.exceptions import CheckpointError
+
+        ckfile = tmp_path / "sequential.ckpt"
+        BUBBLE(EuclideanDistance(), max_nodes=12, seed=5).fit(
+            make_blobs(n=60), checkpoint_path=ckfile, checkpoint_every=10
+        )
+        model = BUBBLE(EuclideanDistance(), max_nodes=12, seed=5, n_shards=2)
+        with pytest.raises(CheckpointError, match="sequential checkpoint file"):
+            model.fit(make_blobs(n=60), resume_from=ckfile)
+
+    def test_sharded_dir_rejected_as_sequential_resume(self, tmp_path):
+        from repro.exceptions import CheckpointError
+
+        ckdir = tmp_path / "ck"
+        BUBBLE(EuclideanDistance(), max_nodes=12, seed=5, n_shards=2).fit(
+            make_blobs(n=60), checkpoint_path=ckdir
+        )
+        model = BUBBLE(EuclideanDistance(), max_nodes=12, seed=5)
+        with pytest.raises(CheckpointError, match="sharded checkpoint directory"):
+            model.fit(make_blobs(n=60), resume_from=ckdir)
+
+
+class TestGlobalQuarantine:
+    def test_cap_enforced_across_shards_after_merge(self):
+        # Two poisons per shard, each under the cap of 3 locally; the
+        # merged total of 4 must still trip the global circuit breaker.
+        from repro.exceptions import QuarantineOverflowError
+
+        points = make_blobs(n=80, seed=4)
+        for position in (4, 5, 6, 7):  # 2 land in each shard of 2
+            points[position] = np.array([1e6, 1e6])
+        metric = FlakyMetric(EuclideanDistance(), failure_rate=0.0, poison=poisoned)
+        model = BUBBLE(metric, max_nodes=12, seed=3, n_shards=2)
+        with pytest.raises(QuarantineOverflowError, match="merged quarantine"):
+            model.fit(points, on_error="quarantine", max_quarantine=3)
+        assert len(model.quarantine_) == 4
+        assert model.ingest_report_ is not None

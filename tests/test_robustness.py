@@ -212,11 +212,62 @@ class TestBudgets:
         assert guard.n_calls == 3  # the overrunning call was never made
         assert guard.remaining_calls == 0
 
-    def test_batch_budget_checked_as_a_block(self):
+    def test_batch_over_budget_spends_remainder_then_aborts(self):
+        # A gather larger than the remaining budget falls back to guarded
+        # pair-by-pair evaluation: the remainder is spent, then the first
+        # over-budget pair aborts, so the ledger charges exactly the
+        # evaluations that happened.
         guard = GuardedMetric(FunctionDistance(euclid), max_calls=10)
         with pytest.raises(MetricBudgetExceededError):
             guard.one_to_many(np.zeros(1), [np.ones(1)] * 11)
-        assert guard.n_calls == 0
+        assert guard.n_calls == 10
+        assert guard.remaining_calls == 0
+
+    def test_batch_within_budget_uses_one_gather(self):
+        guard = GuardedMetric(FunctionDistance(euclid), max_calls=10)
+        out = guard.one_to_many(np.zeros(1), [np.ones(1)] * 10)
+        assert out.shape == (10,)
+        assert guard.n_calls == 10
+
+    def test_pairwise_over_budget_charges_completed_pairs(self):
+        guard = GuardedMetric(FunctionDistance(euclid), max_calls=4)
+        pts = [np.array([float(i)]) for i in range(4)]  # 6 pairs > budget 4
+        with pytest.raises(MetricBudgetExceededError):
+            guard.pairwise(pts)
+        assert guard.n_calls == 4
+
+    def test_cross_over_budget_charges_completed_pairs(self):
+        guard = GuardedMetric(FunctionDistance(euclid), max_calls=5)
+        a = [np.array([float(i)]) for i in range(3)]
+        b = [np.array([float(j)]) for j in range(3)]  # 9 pairs > budget 5
+        with pytest.raises(MetricBudgetExceededError):
+            guard.cross(a, b)
+        assert guard.n_calls == 5
+
+    def test_gather_deadline_checked_mid_batch(self):
+        # The deadline expires while the slow path walks the batch; only
+        # the pairs evaluated before expiry are charged. A broken batch
+        # kernel pins the slow path.
+        t = {"now": 0.0}
+
+        def ticking(a, b):
+            t["now"] += 3.0
+            return euclid(a, b)
+
+        class BrokenBatch(FunctionDistance):
+            def _one_to_many(self, obj, objects):
+                raise RuntimeError("batch kernel down")
+
+        guard = GuardedMetric(
+            BrokenBatch(ticking),
+            deadline_seconds=10.0,
+            clock=lambda: t["now"],
+        )
+        with pytest.raises(DeadlineExceededError):
+            guard.one_to_many(np.zeros(1), [np.ones(1)] * 6)
+        # Four evaluations tick the clock to 12s; the fifth pair's deadline
+        # gate fires before evaluating.
+        assert guard.n_calls == 4
 
     def test_deadline_with_injected_clock(self):
         t = {"now": 0.0}
