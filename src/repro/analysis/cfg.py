@@ -1,0 +1,348 @@
+"""Per-function control-flow graphs for the reprolint dataflow rules.
+
+The RPL1xx rule family (:mod:`repro.analysis.flowrules`) needs to reason
+about *paths*, not just syntax: "is every ``push_site`` popped on all
+paths, including the exceptional ones?" and "is this booking call
+post-dominated by the residual re-booking?" are CFG questions. This
+module builds a statement-granular CFG for each function (and for the
+module body) with two kinds of edges:
+
+* **normal edges** — ordinary fall-through, branch, and loop flow;
+* **exception edges** — from every statement that could raise to the
+  innermost enclosing handler/finally, or to the function's exceptional
+  exit. The analysis is deliberately conservative: *any* statement other
+  than ``pass``/``break``/``continue`` may raise, and an exception edge
+  carries the state from *before* the statement's effect (a call that
+  raises never performed its push/pop/booking).
+
+``try/finally`` is modeled by the classic duplication trick: the
+``finally`` suite is instantiated once per continuation (normal fall
+through, exception re-raise, ``return``/``break``/``continue`` escape),
+so a dataflow walk simply follows edges and sees the ``finally`` body on
+every path — which is exactly what makes "the pop is provably inside a
+``finally``" a reachability fact rather than a syntactic special case.
+
+``with`` blocks get an exception edge from the body to the statement's
+exceptional continuation (``__exit__`` runs, then the exception
+propagates unless suppressed; for the pairing analysis the conservative
+reading is that it propagates).
+
+Two distinguished exit nodes terminate every function graph:
+``exit_normal`` (fall-through and ``return``) and ``exit_raise``
+(uncaught exceptions). Post-dominators are computed over normal edges
+only — "post-dominated by a re-booking call" (RPL104) is a statement
+about successful executions; the exceptional paths are the ledger's
+problem, handled by RPL102.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+__all__ = ["CFG", "CFGNode", "FunctionCFG", "build_cfg", "iter_function_cfgs"]
+
+#: Statements that can never raise on their own.
+_NO_RAISE = (ast.Pass, ast.Break, ast.Continue, ast.Global, ast.Nonlocal)
+
+
+@dataclass
+class CFGNode:
+    """One executable statement occurrence in the graph.
+
+    The same ``ast`` statement may back several nodes when it lives in a
+    duplicated ``finally`` suite; ``stmt`` identity therefore maps
+    many-to-one onto source lines, which is fine for reporting.
+    """
+
+    index: int
+    stmt: ast.stmt | None  # None for the synthetic entry/exit nodes
+    label: str = ""
+
+    @property
+    def line(self) -> int:
+        return self.stmt.lineno if self.stmt is not None else 0
+
+
+@dataclass
+class CFG:
+    """A control-flow graph over :class:`CFGNode` indices."""
+
+    nodes: list[CFGNode] = field(default_factory=list)
+    #: Normal-flow successor sets.
+    succ: dict[int, set[int]] = field(default_factory=dict)
+    #: Exceptional successor sets (state-before-effect semantics).
+    exc_succ: dict[int, set[int]] = field(default_factory=dict)
+    entry: int = -1
+    exit_normal: int = -1
+    exit_raise: int = -1
+
+    def _new_node(self, stmt: ast.stmt | None, label: str = "") -> int:
+        index = len(self.nodes)
+        self.nodes.append(CFGNode(index=index, stmt=stmt, label=label))
+        self.succ[index] = set()
+        self.exc_succ[index] = set()
+        return index
+
+    def _edge(self, src: int, dst: int) -> None:
+        self.succ[src].add(dst)
+
+    def _exc_edge(self, src: int, dst: int) -> None:
+        self.exc_succ[src].add(dst)
+
+    # ------------------------------------------------------------------
+    def statement_nodes(self) -> Iterator[CFGNode]:
+        """Every node that carries a real statement."""
+        for node in self.nodes:
+            if node.stmt is not None:
+                yield node
+
+    def postdominators(self) -> dict[int, set[int]]:
+        """Post-dominator sets over **normal** edges.
+
+        ``d in postdom[n]`` means every normal-flow path from ``n`` to
+        ``exit_normal`` passes through ``d``. Nodes that cannot reach the
+        normal exit (e.g. statements whose only continuation raises) get
+        the full node set, the conventional bottom for unreachable-exit
+        nodes — harmless for RPL104, which only queries nodes on booking
+        paths.
+        """
+        all_nodes = set(range(len(self.nodes)))
+        postdom: dict[int, set[int]] = {
+            n: ({n} if n == self.exit_normal else set(all_nodes)) for n in all_nodes
+        }
+        changed = True
+        while changed:
+            changed = False
+            for n in all_nodes:
+                if n == self.exit_normal:
+                    continue
+                succs = self.succ[n]
+                if succs:
+                    new: set[int] = set.intersection(*(postdom[s] for s in succs))
+                else:
+                    new = set()
+                new = new | {n}
+                if new != postdom[n]:
+                    postdom[n] = new
+                    changed = True
+        return postdom
+
+
+@dataclass
+class _Frame:
+    """Where control escapes to from the suite being built."""
+
+    #: Exceptional continuation (handler head, finally copy, or exit_raise).
+    exc: int
+    #: ``return`` continuation (exit_normal, or a finally copy chaining out).
+    ret: int
+    #: ``break`` / ``continue`` continuations (None outside loops).
+    brk: int | None = None
+    cont: int | None = None
+
+
+def _can_raise(stmt: ast.stmt) -> bool:
+    return not isinstance(stmt, _NO_RAISE)
+
+
+class _Builder:
+    """Recursive-descent CFG construction for one function body."""
+
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        self.cfg.entry = self.cfg._new_node(None, "entry")
+        self.cfg.exit_normal = self.cfg._new_node(None, "exit")
+        self.cfg.exit_raise = self.cfg._new_node(None, "raise-exit")
+
+    def build(self, body: list[ast.stmt]) -> CFG:
+        frame = _Frame(exc=self.cfg.exit_raise, ret=self.cfg.exit_normal)
+        first = self._suite(body, self.cfg.exit_normal, frame)
+        self.cfg._edge(self.cfg.entry, first)
+        return self.cfg
+
+    # ------------------------------------------------------------------
+    def _suite(self, body: list[ast.stmt], follow: int, frame: _Frame) -> int:
+        """Build ``body``; control continues to ``follow``. Returns the
+        entry node of the suite (``follow`` itself for an empty suite)."""
+        entry = follow
+        for stmt in reversed(body):
+            entry = self._statement(stmt, entry, frame)
+        return entry
+
+    def _statement(self, stmt: ast.stmt, follow: int, frame: _Frame) -> int:
+        cfg = self.cfg
+        if isinstance(stmt, (ast.If,)):
+            node = cfg._new_node(stmt, "if")
+            then_entry = self._suite(stmt.body, follow, frame)
+            else_entry = self._suite(stmt.orelse, follow, frame)
+            cfg._edge(node, then_entry)
+            cfg._edge(node, else_entry)
+            cfg._exc_edge(node, frame.exc)  # the test expression may raise
+            return node
+
+        if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            node = cfg._new_node(stmt, "loop")
+            else_entry = self._suite(stmt.orelse, follow, frame)
+            loop_frame = _Frame(exc=frame.exc, ret=frame.ret, brk=follow, cont=node)
+            body_entry = self._suite(stmt.body, node, loop_frame)
+            cfg._edge(node, body_entry)  # take the loop
+            cfg._edge(node, else_entry)  # exhaust / skip the loop
+            cfg._exc_edge(node, frame.exc)
+            return node
+
+        if isinstance(stmt, ast.Try) or (hasattr(ast, "TryStar") and isinstance(stmt, ast.TryStar)):
+            return self._try(stmt, follow, frame)
+
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            node = cfg._new_node(stmt, "with")
+            body_frame = _Frame(exc=frame.exc, ret=frame.ret, brk=frame.brk, cont=frame.cont)
+            body_entry = self._suite(stmt.body, follow, body_frame)
+            cfg._edge(node, body_entry)
+            cfg._exc_edge(node, frame.exc)
+            return node
+
+        if isinstance(stmt, ast.Return):
+            node = cfg._new_node(stmt, "return")
+            cfg._edge(node, frame.ret)
+            cfg._exc_edge(node, frame.exc)  # the returned expression may raise
+            return node
+
+        if isinstance(stmt, ast.Raise):
+            node = cfg._new_node(stmt, "raise")
+            cfg._edge(node, frame.exc)  # normal successor IS the raise target
+            cfg._exc_edge(node, frame.exc)
+            return node
+
+        if isinstance(stmt, ast.Break):
+            node = cfg._new_node(stmt, "break")
+            cfg._edge(node, frame.brk if frame.brk is not None else follow)
+            return node
+
+        if isinstance(stmt, ast.Continue):
+            node = cfg._new_node(stmt, "continue")
+            cfg._edge(node, frame.cont if frame.cont is not None else follow)
+            return node
+
+        if isinstance(stmt, ast.Match):
+            node = cfg._new_node(stmt, "match")
+            cfg._exc_edge(node, frame.exc)
+            matched_any = False
+            for case in stmt.cases:
+                case_entry = self._suite(case.body, follow, frame)
+                cfg._edge(node, case_entry)
+                matched_any = True
+            if not matched_any or not any(
+                isinstance(c.pattern, ast.MatchAs) and c.pattern.pattern is None
+                for c in stmt.cases
+            ):
+                cfg._edge(node, follow)  # no case matched
+            return node
+
+        # Simple statement (expression, assignment, assert, import, nested
+        # def/class header, ...): one node, fall through; may raise.
+        node = cfg._new_node(stmt, "stmt")
+        cfg._edge(node, follow)
+        if _can_raise(stmt):
+            cfg._exc_edge(node, frame.exc)
+        return node
+
+    # ------------------------------------------------------------------
+    def _try(self, stmt: "ast.Try | ast.TryStar", follow: int, frame: _Frame) -> int:
+        """``try/except/else/finally`` with per-continuation finally copies."""
+        cfg = self.cfg
+
+        def finally_to(continuation: int, exc: int) -> int:
+            """A fresh copy of the finally suite flowing to ``continuation``."""
+            if not stmt.finalbody:
+                return continuation
+            inner = _Frame(exc=exc, ret=frame.ret, brk=frame.brk, cont=frame.cont)
+            return self._suite(stmt.finalbody, continuation, inner)
+
+        # Continuations as seen from inside the try statement. Everything
+        # funnels through its own finally copy (if one exists).
+        normal_out = finally_to(follow, frame.exc)
+        exc_out = finally_to(frame.exc, frame.exc)  # finally, then re-raise
+        ret_out = finally_to(frame.ret, frame.exc)
+        brk_out = finally_to(frame.brk, frame.exc) if frame.brk is not None else None
+        cont_out = finally_to(frame.cont, frame.exc) if frame.cont is not None else None
+
+        # Handlers: an exception in the try body may land in any of them
+        # (we cannot evaluate exception types statically); an exception
+        # *inside* a handler propagates through the finally.
+        handler_frame = _Frame(exc=exc_out, ret=ret_out, brk=brk_out, cont=cont_out)
+        handler_entries = [
+            self._suite(handler.body, normal_out, handler_frame)
+            for handler in stmt.handlers
+        ]
+        # The body's exceptional continuation: every handler is possible,
+        # and so is "no handler matched" (straight to finally + re-raise).
+        if handler_entries:
+            dispatch = cfg._new_node(None, "except-dispatch")
+            for entry in handler_entries:
+                cfg._edge(dispatch, entry)
+            cfg._edge(dispatch, exc_out)
+            body_exc = dispatch
+        else:
+            body_exc = exc_out
+
+        else_entry = self._suite(stmt.orelse, normal_out, handler_frame)
+        body_frame = _Frame(exc=body_exc, ret=ret_out, brk=brk_out, cont=cont_out)
+        return self._suite(stmt.body, else_entry, body_frame)
+
+
+def build_cfg(body: list[ast.stmt]) -> CFG:
+    """Build the CFG of one statement suite (a function body or module)."""
+    return _Builder().build(body)
+
+
+@dataclass
+class FunctionCFG:
+    """A function (or module body) paired with its graph."""
+
+    #: Qualified name for reporting (``"<module>"`` for the module body).
+    name: str
+    #: The defining node (``None`` for the module body).
+    func: ast.FunctionDef | ast.AsyncFunctionDef | None
+    cfg: CFG
+    #: Parameter names visible in the body (empty for the module body).
+    params: tuple[str, ...] = ()
+
+
+def _param_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> tuple[str, ...]:
+    a = func.args
+    names = [p.arg for p in (*a.posonlyargs, *a.args, *a.kwonlyargs)]
+    if a.vararg is not None:
+        names.append(a.vararg.arg)
+    if a.kwarg is not None:
+        names.append(a.kwarg.arg)
+    return tuple(names)
+
+
+def iter_function_cfgs(tree: ast.Module) -> Iterator[FunctionCFG]:
+    """Yield a :class:`FunctionCFG` for the module body and every function.
+
+    Nested functions get their own graphs (their bodies are *not* part of
+    the enclosing function's flow — they execute at call time).
+    """
+    yield FunctionCFG(name="<module>", func=None, cfg=build_cfg(tree.body))
+    stack: list[tuple[str, ast.AST]] = [("", tree)]
+    while stack:
+        prefix, parent = stack.pop()
+        for node in ast.iter_child_nodes(parent):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{node.name}"
+                yield FunctionCFG(
+                    name=qual,
+                    func=node,
+                    cfg=build_cfg(node.body),
+                    params=_param_names(node),
+                )
+                stack.append((f"{qual}.", node))
+            elif isinstance(node, ast.ClassDef):
+                stack.append((f"{prefix}{node.name}.", node))
+            elif isinstance(node, (ast.Lambda,)):
+                continue
+            else:
+                stack.append((prefix, node))

@@ -1,0 +1,441 @@
+"""Reaching-definition and value-origin analysis for reprolint.
+
+The RPL1xx rules ask questions like "what does this argument *resolve
+to*?" (RPL101: a lambda? a nested function? a module-level def?) and
+"where does this seed *come from*?" (RPL103: a parameter? a
+``SeedSequence``? a literal? the wall clock?). This module provides the
+shared machinery: a scope tree with every binding a name can receive, and
+a resolver that chases a name back through its definitions — within the
+function, up the closure chain, to module scope, and across modules via
+the :class:`~repro.analysis.symbols.ProjectSymbolTable`.
+
+The analysis is *may*-style and deliberately biased against false
+positives: a rule should flag only when **every** resolution of a name is
+bad. Bindings the resolver cannot interpret (call results, subscripts,
+``global`` names, attributes of unknown objects) resolve to
+:data:`UNKNOWN`, which no rule flags.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.analysis.symbols import ProjectSymbolTable, Symbol
+
+__all__ = [
+    "ATTRIBUTE",
+    "Binding",
+    "EXTERNAL_ORIGIN",
+    "ModuleScopes",
+    "Origin",
+    "OriginKind",
+    "PARAM",
+    "Scope",
+    "UNKNOWN",
+    "build_scopes",
+    "resolve_expr",
+]
+
+#: Recursion bound when chasing definitions through definitions.
+_MAX_DEPTH = 8
+
+
+class OriginKind(Enum):
+    """What a value ultimately is, as far as the resolver can prove."""
+
+    LAMBDA = "lambda"  # a lambda expression
+    LOCAL_DEF = "local-def"  # def/class nested inside a function
+    MODULE_DEF = "module-def"  # def/class at module scope
+    PARAM = "param"  # a function parameter
+    LITERAL = "literal"  # a compile-time constant
+    TIME = "time"  # wall-clock derived (time.time, datetime.now, ...)
+    SEED_DERIVED = "seed-derived"  # SeedSequence / ensure_rng / spawn products
+    ATTRIBUTE = "attribute"  # obj.attr — instance/config state
+    EXTERNAL = "external"  # resolves outside the project
+    UNKNOWN = "unknown"  # anything the resolver will not vouch for
+
+
+@dataclass(frozen=True)
+class Origin:
+    """One possible origin of a value."""
+
+    kind: OriginKind
+    #: The AST node that produced the value, when one exists.
+    node: ast.AST | None = None
+    #: Human-readable detail for messages ("lambda", "def shard_fn", ...).
+    detail: str = ""
+
+
+#: Shared origins for the kinds that need no node/detail payload.
+UNKNOWN = Origin(OriginKind.UNKNOWN)
+PARAM = Origin(OriginKind.PARAM)
+ATTRIBUTE = Origin(OriginKind.ATTRIBUTE)
+EXTERNAL_ORIGIN = Origin(OriginKind.EXTERNAL)
+
+
+@dataclass(eq=False)
+class Binding:
+    """One way a name can be bound in a scope."""
+
+    #: ``"param" | "def" | "class" | "assign" | "import" | "import-from" |
+    #: ``"loop" | "with" | "except" | "global" | "arg-unpack"``
+    kind: str
+    #: Assigned value for ``assign`` bindings, defining node for defs.
+    node: ast.AST | None = None
+    #: For import bindings: (source module, original name) — original name
+    #: is ``""`` for whole-module ``import x`` bindings.
+    import_ref: tuple[str, str] | None = None
+
+
+@dataclass
+class Scope:
+    """Bindings of one lexical scope (module, function, or class body)."""
+
+    #: ``"module" | "function" | "class"``
+    kind: str
+    node: ast.AST | None
+    parent: "Scope | None" = None
+    bindings: dict[str, list[Binding]] = field(default_factory=dict)
+
+    def bind(self, name: str, binding: Binding) -> None:
+        self.bindings.setdefault(name, []).append(binding)
+
+    def lookup(self, name: str) -> list[Binding]:
+        """All bindings of ``name`` visible from this scope.
+
+        Follows Python's closure rule: class scopes are skipped when
+        resolving from a nested function.
+        """
+        scope: Scope | None = self
+        first = True
+        while scope is not None:
+            if (first or scope.kind != "class") and name in scope.bindings:
+                return scope.bindings[name]
+            scope = scope.parent
+            first = False
+        return []
+
+
+@dataclass
+class ModuleScopes:
+    """The scope tree of one module, addressable by AST node."""
+
+    module: Scope
+    #: Function/class definition node -> its body scope.
+    by_node: dict[ast.AST, Scope]
+
+    def scope_of(self, node: ast.AST) -> Scope:
+        return self.by_node.get(node, self.module)
+
+
+def _bind_target(scope: Scope, target: ast.expr, binding: Binding) -> None:
+    """Bind every plain name in an assignment target."""
+    if isinstance(target, ast.Name):
+        scope.bind(target.id, binding)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            _bind_target(scope, element, Binding(kind="arg-unpack"))
+    elif isinstance(target, ast.Starred):
+        _bind_target(scope, target.value, Binding(kind="arg-unpack"))
+    # Attribute / subscript targets bind no local name.
+
+
+class _ScopeBuilder(ast.NodeVisitor):
+    """One pass over the module collecting every binding per scope."""
+
+    def __init__(self) -> None:
+        self.module = Scope(kind="module", node=None)
+        self.by_node: dict[ast.AST, Scope] = {}
+        self._current = self.module
+
+    # -- scope management ----------------------------------------------
+    def _enter(self, node: ast.AST, kind: str) -> Scope:
+        scope = Scope(kind=kind, node=node, parent=self._current)
+        self.by_node[node] = scope
+        return scope
+
+    def _walk_in(self, scope: Scope, children: list[ast.AST]) -> None:
+        saved, self._current = self._current, scope
+        for child in children:
+            self.visit(child)
+        self._current = saved
+
+    # -- definitions ----------------------------------------------------
+    def _visit_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self._current.bind(node.name, Binding(kind="def", node=node))
+        scope = self._enter(node, "function")
+        a = node.args
+        for param in (*a.posonlyargs, *a.args, *a.kwonlyargs):
+            scope.bind(param.arg, Binding(kind="param"))
+        if a.vararg is not None:
+            scope.bind(a.vararg.arg, Binding(kind="param"))
+        if a.kwarg is not None:
+            scope.bind(a.kwarg.arg, Binding(kind="param"))
+        # Decorators and defaults evaluate in the *enclosing* scope.
+        for expr in (*node.decorator_list, *a.defaults, *a.kw_defaults):
+            if expr is not None:
+                self.visit(expr)
+        self._walk_in(scope, list(node.body))
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._current.bind(node.name, Binding(kind="class", node=node))
+        scope = self._enter(node, "class")
+        for expr in (*node.decorator_list, *node.bases, *(kw.value for kw in node.keywords)):
+            self.visit(expr)
+        self._walk_in(scope, list(node.body))
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        scope = self._enter(node, "function")
+        a = node.args
+        for param in (*a.posonlyargs, *a.args, *a.kwonlyargs):
+            scope.bind(param.arg, Binding(kind="param"))
+        self._walk_in(scope, [node.body])
+
+    # -- assignments and other binders ---------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            _bind_target(self._current, target, Binding(kind="assign", node=node.value))
+        self.visit(node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            _bind_target(self._current, node.target, Binding(kind="assign", node=node.value))
+            self.visit(node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        _bind_target(self._current, node.target, Binding(kind="assign", node=node.value))
+        self.visit(node.value)
+
+    def visit_NamedExpr(self, node: ast.NamedExpr) -> None:
+        _bind_target(self._current, node.target, Binding(kind="assign", node=node.value))
+        self.visit(node.value)
+
+    def visit_For(self, node: ast.For) -> None:
+        _bind_target(self._current, node.target, Binding(kind="loop", node=node.iter))
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        _bind_target(self._current, node.target, Binding(kind="loop", node=node.iter))
+        self.generic_visit(node)
+
+    def visit_comprehension_scope(self, node: ast.AST) -> None:
+        # Comprehension targets are folded into the enclosing scope as
+        # opaque loop bindings — precise enough for may-analysis.
+        for comp in getattr(node, "generators", []):
+            _bind_target(self._current, comp.target, Binding(kind="loop", node=comp.iter))
+        self.generic_visit(node)
+
+    visit_ListComp = visit_comprehension_scope
+    visit_SetComp = visit_comprehension_scope
+    visit_DictComp = visit_comprehension_scope
+    visit_GeneratorExp = visit_comprehension_scope
+
+    def visit_With(self, node: ast.With) -> None:
+        for item in node.items:
+            if item.optional_vars is not None:
+                _bind_target(
+                    self._current,
+                    item.optional_vars,
+                    Binding(kind="with", node=item.context_expr),
+                )
+        self.generic_visit(node)
+
+    visit_AsyncWith = visit_With
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.name:
+            self._current.bind(node.name, Binding(kind="except"))
+        self.generic_visit(node)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            self._current.bind(
+                bound, Binding(kind="import", import_ref=(alias.name, ""))
+            )
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        for alias in node.names:
+            self._current.bind(
+                alias.asname or alias.name,
+                Binding(kind="import-from", import_ref=(module, alias.name)),
+            )
+
+    def visit_Global(self, node: ast.Global) -> None:
+        for name in node.names:
+            self._current.bind(name, Binding(kind="global"))
+
+    visit_Nonlocal = visit_Global
+
+
+def build_scopes(tree: ast.Module) -> ModuleScopes:
+    """Build the scope tree of ``tree`` in one pass."""
+    builder = _ScopeBuilder()
+    for stmt in tree.body:
+        builder.visit(stmt)
+    return ModuleScopes(module=builder.module, by_node=builder.by_node)
+
+
+# ----------------------------------------------------------------------
+# Origin resolution
+# ----------------------------------------------------------------------
+_TIME_CALLS = frozenset(
+    {"time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+     "perf_counter_ns", "now", "utcnow", "getpid"}
+)
+_SEED_CALLS = frozenset(
+    {"SeedSequence", "ensure_rng", "spawn", "generate_state", "default_rng"}
+)
+#: Identity-ish wrappers whose origin is their first argument's origin.
+_TRANSPARENT_CALLS = frozenset({"int", "abs", "float", "hash"})
+
+
+def _symbol_origin(symbol: Symbol) -> Origin:
+    if symbol.kind in ("function", "class"):
+        return Origin(
+            OriginKind.MODULE_DEF,
+            detail=f"{symbol.module}.{symbol.name}",
+        )
+    if symbol.kind == "lambda":
+        return Origin(
+            OriginKind.LAMBDA,
+            detail=f"lambda assigned at module level in {symbol.module}",
+        )
+    if symbol.kind in ("import", "external"):
+        return EXTERNAL_ORIGIN
+    return UNKNOWN
+
+
+def _call_origin(
+    node: ast.Call,
+    scope: Scope,
+    symbols: ProjectSymbolTable | None,
+    depth: int,
+) -> set[Origin]:
+    func = node.func
+    name = None
+    if isinstance(func, ast.Name):
+        name = func.id
+    elif isinstance(func, ast.Attribute):
+        name = func.attr
+    if name in _TIME_CALLS:
+        return {Origin(OriginKind.TIME, node=node, detail=f"{name}()")}
+    if name in _SEED_CALLS:
+        return {Origin(OriginKind.SEED_DERIVED, node=node, detail=f"{name}()")}
+    if name in _TRANSPARENT_CALLS and node.args:
+        return resolve_expr(node.args[0], scope, symbols, depth + 1)
+    return {UNKNOWN}
+
+
+def resolve_expr(
+    expr: ast.expr,
+    scope: Scope,
+    symbols: ProjectSymbolTable | None = None,
+    depth: int = 0,
+) -> set[Origin]:
+    """All origins ``expr`` may resolve to, seen from ``scope``.
+
+    Returns ``{Origin.UNKNOWN}`` rather than guessing; rules must treat
+    UNKNOWN as "cannot prove a violation".
+    """
+    if depth > _MAX_DEPTH:
+        return {UNKNOWN}
+
+    if isinstance(expr, ast.Lambda):
+        return {Origin(OriginKind.LAMBDA, node=expr, detail="lambda")}
+    if isinstance(expr, ast.Constant):
+        return {Origin(OriginKind.LITERAL, node=expr, detail=repr(expr.value))}
+    if isinstance(expr, ast.Attribute):
+        return {ATTRIBUTE}
+    if isinstance(expr, ast.Call):
+        return _call_origin(expr, scope, symbols, depth)
+    if isinstance(expr, (ast.BinOp, ast.UnaryOp)):
+        operands = (
+            [expr.left, expr.right] if isinstance(expr, ast.BinOp) else [expr.operand]
+        )
+        combined: set[Origin] = set()
+        for operand in operands:
+            combined |= resolve_expr(operand, scope, symbols, depth + 1)
+        kinds = {origin.kind for origin in combined}
+        if kinds <= {OriginKind.LITERAL}:
+            return {Origin(OriginKind.LITERAL, node=expr, detail="literal arithmetic")}
+        if OriginKind.TIME in kinds:
+            return {o for o in combined if o.kind == OriginKind.TIME}
+        return combined
+    if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+        combined = set()
+        for element in expr.elts:
+            if isinstance(element, ast.Starred):
+                element = element.value
+            combined |= resolve_expr(element, scope, symbols, depth + 1)
+        return combined or {UNKNOWN}
+    if isinstance(expr, ast.Starred):
+        return resolve_expr(expr.value, scope, symbols, depth + 1)
+    if isinstance(expr, ast.IfExp):
+        return resolve_expr(expr.body, scope, symbols, depth + 1) | resolve_expr(
+            expr.orelse, scope, symbols, depth + 1
+        )
+    if not isinstance(expr, ast.Name):
+        return {UNKNOWN}
+
+    # A name: union over everything it may be bound to.
+    bindings = scope.lookup(expr.id)
+    if not bindings:
+        return {UNKNOWN}
+    origins: set[Origin] = set()
+    for binding in bindings:
+        origins |= _binding_origin(expr.id, binding, scope, symbols, depth)
+    return origins
+
+
+def _binding_origin(
+    name: str,
+    binding: Binding,
+    scope: Scope,
+    symbols: ProjectSymbolTable | None,
+    depth: int,
+) -> set[Origin]:
+    if binding.kind == "param":
+        return {PARAM}
+    if binding.kind in ("def", "class"):
+        # Module-level (or class-body) defs pickle by qualified name;
+        # defs nested inside a *function* are closures.
+        defining = _defining_scope(name, binding, scope)
+        if defining is not None and defining.kind == "function":
+            label = "def" if binding.kind == "def" else "class"
+            return {
+                Origin(
+                    OriginKind.LOCAL_DEF,
+                    node=binding.node,
+                    detail=f"{label} {name} (local to a function)",
+                )
+            }
+        return {Origin(OriginKind.MODULE_DEF, node=binding.node, detail=name)}
+    if binding.kind == "assign" and isinstance(binding.node, ast.expr):
+        return resolve_expr(binding.node, scope, symbols, depth + 1)
+    if binding.kind in ("import", "import-from"):
+        if binding.import_ref is None:
+            return {EXTERNAL_ORIGIN}
+        module, original = binding.import_ref
+        if binding.kind == "import" or original == "":
+            return {EXTERNAL_ORIGIN}
+        if symbols is None:
+            return {EXTERNAL_ORIGIN}
+        return {_symbol_origin(symbols.resolve_import(module, original))}
+    return {UNKNOWN}
+
+
+def _defining_scope(name: str, binding: Binding, scope: Scope) -> Scope | None:
+    """The scope that actually holds ``binding`` for ``name``."""
+    current: Scope | None = scope
+    while current is not None:
+        if binding in current.bindings.get(name, []):
+            return current
+        current = current.parent
+    return None

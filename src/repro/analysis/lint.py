@@ -1,11 +1,16 @@
-"""reprolint — the project-specific AST linter.
+"""reprolint — the project-specific static analyser.
 
 Generic linters keep the code tidy; *this* linter keeps the paper's
 guarantees machine-checked. Every rule encodes an invariant the
-reproduction depends on (see :mod:`repro.analysis.rules` and
-``docs/analysis.md`` for the catalogue): honest NCD accounting, seeded
-randomness, tolerance-based distance comparisons, no accidental all-pairs
-scans, and explicit public surfaces.
+reproduction depends on (see :mod:`repro.analysis.rules`,
+:mod:`repro.analysis.flowrules` and ``docs/analysis.md`` for the
+catalogue): honest NCD accounting, seeded randomness, tolerance-based
+distance comparisons, no accidental all-pairs scans, explicit public
+surfaces — and, via the dataflow engine (:mod:`repro.analysis.cfg`,
+:mod:`repro.analysis.dataflow`, :mod:`repro.analysis.symbols`),
+pickle-safety at worker boundaries, all-paths span/ledger pairing, seed
+provenance, external-count booking discipline, and float-stability
+shapes feeding the BETULA worklist.
 
 Built on :mod:`ast` and :mod:`tokenize` only — no third-party
 dependencies. Run it as ``repro lint``, ``python -m repro.analysis``, or
@@ -14,15 +19,21 @@ programmatically::
     from repro.analysis import lint_paths
     violations = lint_paths(["src"])
 
-Suppression: append ``# reprolint: disable=RPL001`` (comma-separate for
-several codes, or ``disable=all``) to the offending line. Suppressions
-are intended to carry a justifying comment; the baseline in ``src/`` is
-kept at zero violations by CI.
+Suppression syntax (reasons are mandatory — RPL000 flags bare ones)::
+
+    x = risky()  # reprolint: disable=RPL001 -- counted by the caller
+    # reprolint: disable-file=RPL005 -- script, not a public module
+
+A suppression whose rule would not have fired is itself an RPL000
+violation, so the suppression inventory can never silently go stale.
+Profiles select which rules run: ``src`` (everything) and ``tests``
+(parallel-safety rules only — RPL000/RPL101/RPL102).
 """
 
 from __future__ import annotations
 
 import ast
+import functools
 import io
 import json
 import sys
@@ -31,18 +42,38 @@ from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.analysis.rules import ALL_RULES, Rule
+from repro.analysis.flowrules import FLOW_RULES
+from repro.analysis.rules import BASE_RULES, META_RULE, Rule, RuleContext
+from repro.analysis.symbols import ProjectSymbolTable
 
 __all__ = [
+    "ALL_RULES",
+    "PROFILES",
     "LintViolation",
     "lint_source",
     "lint_file",
     "lint_paths",
     "format_violations",
+    "to_sarif",
     "main",
 ]
 
+#: The complete catalogue: the engine-level meta rule, the token/AST
+#: rules, and the CFG/dataflow rules.
+ALL_RULES: tuple[Rule, ...] = (META_RULE, *BASE_RULES, *FLOW_RULES)
+
+#: Named rule profiles. ``None`` means "every rule". The ``tests``
+#: profile keeps the parallel-safety rules (pickle-safety and span/ledger
+#: pairing — tests construct real worker tasks and tracer spans) while
+#: dropping style- and scope-rules that are meaningless for test code
+#: (loop-depth RPL004, ``__all__`` RPL005, seeded-randomness RPL002, ...).
+PROFILES: dict[str, tuple[str, ...] | None] = {
+    "src": None,
+    "tests": ("RPL000", "RPL101", "RPL102"),
+}
+
 _DISABLE_MARKER = "reprolint:"
+_REASON_SEPARATOR = " -- "
 
 
 @dataclass(frozen=True)
@@ -65,26 +96,40 @@ class LintViolation:
 
 
 @dataclass
+class _Directive:
+    """One parsed ``# reprolint: disable[-file]=...`` comment."""
+
+    line: int
+    col: int
+    codes: frozenset[str]
+    file_wide: bool
+    reason: str
+    #: Set when the directive suppressed at least one finding this run.
+    used: bool = field(default=False, compare=False)
+
+
+@dataclass
 class _Suppressions:
-    """Per-line and whole-file suppression state parsed from comments."""
+    """All suppression directives parsed from one module."""
 
-    by_line: dict[int, set[str]] = field(default_factory=dict)
-    file_wide: set[str] = field(default_factory=set)
+    directives: list[_Directive] = field(default_factory=list)
 
-    def active(self, line: int, code: str) -> bool:
-        if "all" in self.file_wide or code in self.file_wide:
-            return True
-        codes = self.by_line.get(line)
-        if codes is None:
-            return False
-        return "all" in codes or code in codes
+    def match(self, line: int, code: str) -> _Directive | None:
+        """First directive covering ``code`` at ``line`` (file-wide wins)."""
+        for d in self.directives:
+            if not (d.file_wide or d.line == line):
+                continue
+            if "all" in d.codes or code in d.codes:
+                return d
+        return None
 
 
 def _parse_suppressions(source: str) -> _Suppressions:
-    """Collect ``# reprolint: disable=...`` comments.
+    """Collect ``# reprolint: disable=...`` comments with their reasons.
 
-    A marker on a line suppresses the listed codes on that line; a
-    ``disable-file=`` marker anywhere suppresses them for the whole file.
+    A directive on a line suppresses the listed codes on that line; a
+    ``disable-file=`` directive anywhere suppresses them for the whole
+    file. Everything after `` -- `` is the mandatory justification.
     """
     out = _Suppressions()
     try:
@@ -96,16 +141,29 @@ def _parse_suppressions(source: str) -> _Suppressions:
             if not text.startswith(_DISABLE_MARKER):
                 continue
             directive = text[len(_DISABLE_MARKER):].strip()
+            reason = ""
+            if _REASON_SEPARATOR in directive:
+                directive, _, reason = directive.partition(_REASON_SEPARATOR)
+                directive = directive.strip()
+                reason = reason.strip()
             for part in directive.split():
-                if part.startswith("disable-file="):
-                    out.file_wide.update(
-                        c.strip() for c in part[len("disable-file="):].split(",") if c.strip()
+                file_wide = part.startswith("disable-file=")
+                prefix = "disable-file=" if file_wide else "disable="
+                if not part.startswith(prefix):
+                    continue
+                codes = frozenset(
+                    c.strip() for c in part[len(prefix):].split(",") if c.strip()
+                )
+                if codes:
+                    out.directives.append(
+                        _Directive(
+                            line=tok.start[0],
+                            col=tok.start[1],
+                            codes=codes,
+                            file_wide=file_wide,
+                            reason=reason,
+                        )
                     )
-                elif part.startswith("disable="):
-                    codes = {
-                        c.strip() for c in part[len("disable="):].split(",") if c.strip()
-                    }
-                    out.by_line.setdefault(tok.start[0], set()).update(codes)
     except tokenize.TokenError:
         # Unterminated string or similar: the ast parse below will produce
         # the real syntax error; suppressions simply stay empty.
@@ -113,31 +171,93 @@ def _parse_suppressions(source: str) -> _Suppressions:
     return out
 
 
-def _select_rules(select: Iterable[str] | None) -> list[Rule]:
-    if select is None:
-        return list(ALL_RULES)
-    wanted = {c.strip().upper() for c in select if c.strip()}
+def _select_rules(
+    select: Iterable[str] | None, profile: str
+) -> list[Rule]:
     known = {rule.code for rule in ALL_RULES}
-    unknown = wanted - known
-    if unknown:
+    if select is not None:
+        wanted = {c.strip().upper() for c in select if c.strip()}
+        unknown = wanted - known
+        if unknown:
+            raise ValueError(
+                f"unknown rule code(s) {sorted(unknown)}; known: {sorted(known)}"
+            )
+        return [rule for rule in ALL_RULES if rule.code in wanted]
+    if profile not in PROFILES:
         raise ValueError(
-            f"unknown rule code(s) {sorted(unknown)}; known: {sorted(known)}"
+            f"unknown profile {profile!r}; known: {sorted(PROFILES)}"
         )
-    return [rule for rule in ALL_RULES if rule.code in wanted]
+    codes = PROFILES[profile]
+    if codes is None:
+        return list(ALL_RULES)
+    return [rule for rule in ALL_RULES if rule.code in codes]
+
+
+@functools.lru_cache(maxsize=1)
+def _package_symbols() -> ProjectSymbolTable:
+    """Shared fallback symbol table over the installed ``repro`` source."""
+    return ProjectSymbolTable().with_package()
+
+
+def _meta_findings(
+    suppressions: _Suppressions,
+    active_codes: set[str],
+    select: Iterable[str] | None,
+) -> list[tuple[int, int, str]]:
+    """RPL000: unknown codes, missing reasons, unused suppressions.
+
+    Unused-suppression detection only fires when every code a directive
+    names was actually executed this run — a ``--select RPL001`` pass must
+    not declare an RPL102 suppression stale.
+    """
+    known = {rule.code for rule in ALL_RULES}
+    findings: list[tuple[int, int, str]] = []
+    full_run = select is None
+    for d in suppressions.directives:
+        unknown = sorted(d.codes - known - {"all"})
+        if unknown:
+            findings.append((
+                d.line, d.col,
+                f"suppression names unknown rule code(s) {unknown}",
+            ))
+            continue
+        if not d.reason:
+            findings.append((
+                d.line, d.col,
+                "suppression without a justification; append `-- <reason>`",
+            ))
+        concrete = d.codes - {"all"}
+        executed = (
+            (full_run or concrete <= active_codes)
+            if "all" in d.codes
+            else concrete <= active_codes
+        )
+        if executed and not d.used:
+            codes = "all" if "all" in d.codes else ",".join(sorted(concrete))
+            findings.append((
+                d.line, d.col,
+                f"unused suppression: no {codes} finding here; remove it",
+            ))
+    return findings
 
 
 def lint_source(
     source: str,
     path: str = "<string>",
     select: Iterable[str] | None = None,
+    profile: str = "src",
+    symbols: ProjectSymbolTable | None = None,
 ) -> list[LintViolation]:
     """Lint Python source text; returns violations sorted by location.
 
     ``path`` is used both for reporting and for path-scoped rule
     exemptions (e.g. RPL001 exempts ``metrics/base.py``), so pass the
-    real repository-relative path whenever one exists.
+    real repository-relative path whenever one exists. ``symbols``
+    defaults to a table over the installed ``repro`` package, which is
+    what standalone snippets need to resolve project imports.
     """
-    rules = _select_rules(select)
+    rules = _select_rules(select, profile)
+    active_codes = {rule.code for rule in rules}
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
@@ -147,23 +267,41 @@ def lint_source(
             LintViolation(path, line, max(col, 0), "RPL000", f"syntax error: {exc.msg}")
         ]
     suppressions = _parse_suppressions(source)
-    violations: list[LintViolation] = []
     norm_path = Path(path).as_posix()
+    if symbols is None:
+        symbols = _package_symbols()
+    ctx = RuleContext(tree=tree, path=norm_path, source=source, symbols=symbols)
+    violations: list[LintViolation] = []
     for rule in rules:
-        for line, col, message in rule.check(tree, norm_path, source):
-            if not suppressions.active(line, rule.code):
+        for line, col, message in rule.check(ctx):
+            directive = suppressions.match(line, rule.code)
+            if directive is not None:
+                directive.used = True
+            else:
                 violations.append(LintViolation(path, line, col, rule.code, message))
+    if "RPL000" in active_codes:
+        # Meta findings are about the suppressions themselves and are
+        # deliberately not suppressible.
+        for line, col, message in _meta_findings(suppressions, active_codes, select):
+            violations.append(LintViolation(path, line, col, "RPL000", message))
     violations.sort(key=lambda v: (v.line, v.col, v.code))
     return violations
 
 
-def lint_file(path: str | Path, select: Iterable[str] | None = None) -> list[LintViolation]:
+def lint_file(
+    path: str | Path,
+    select: Iterable[str] | None = None,
+    profile: str = "src",
+    symbols: ProjectSymbolTable | None = None,
+) -> list[LintViolation]:
     """Lint one file on disk."""
     text = Path(path).read_text(encoding="utf-8")
-    return lint_source(text, str(path), select=select)
+    return lint_source(text, str(path), select=select, profile=profile, symbols=symbols)
 
 
-def _iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
+def _iter_python_files(
+    paths: Sequence[str | Path], exclude: Sequence[str] = ()
+) -> list[Path]:
     files: list[Path] = []
     for item in paths:
         p = Path(item)
@@ -171,6 +309,11 @@ def _iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
             files.extend(sorted(p.rglob("*.py")))
         elif p.suffix == ".py":
             files.append(p)
+    if exclude:
+        files = [
+            f for f in files
+            if not any(marker in f.as_posix() for marker in exclude)
+        ]
     # De-duplicate while preserving order (a file may be reachable twice).
     seen: set[Path] = set()
     unique: list[Path] = []
@@ -185,11 +328,24 @@ def _iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
 def lint_paths(
     paths: Sequence[str | Path],
     select: Iterable[str] | None = None,
+    profile: str = "src",
+    exclude: Sequence[str] = (),
 ) -> list[LintViolation]:
-    """Lint every ``*.py`` file under the given files/directories."""
+    """Lint every ``*.py`` file under the given files/directories.
+
+    ``exclude`` drops files whose posix path contains any of the given
+    substrings (e.g. ``tests/fixtures`` — lint fixtures violate rules on
+    purpose). One cross-module symbol table is built over everything being
+    linted (plus the installed ``repro`` package as fallback) and shared by
+    all files, so ``from repro.x import y`` resolves precisely.
+    """
+    files = _iter_python_files(paths, exclude=exclude)
+    symbols = ProjectSymbolTable.from_paths(files).with_package()
     violations: list[LintViolation] = []
-    for f in _iter_python_files(paths):
-        violations.extend(lint_file(f, select=select))
+    for f in files:
+        violations.extend(
+            lint_file(f, select=select, profile=profile, symbols=symbols)
+        )
     return violations
 
 
@@ -204,6 +360,62 @@ def format_violations(violations: Sequence[LintViolation], statistics: bool = Fa
         for code in sorted(counts):
             lines.append(f"{counts[code]:5d}  {code}")
     return "\n".join(lines)
+
+
+def to_sarif(violations: Sequence[LintViolation]) -> dict[str, object]:
+    """Render violations as a SARIF 2.1.0 log (one run, tool=reprolint).
+
+    The shape matches what ``github/codeql-action/upload-sarif`` expects,
+    so CI can annotate pull requests with findings inline.
+    """
+    sarif_rules = [
+        {
+            "id": rule.code,
+            "shortDescription": {"text": rule.summary},
+            "fullDescription": {"text": rule.rationale},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule in ALL_RULES
+    ]
+    results = [
+        {
+            "ruleId": v.code,
+            "level": "error",
+            "message": {"text": v.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": Path(v.path).as_posix(),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": v.line,
+                            "startColumn": v.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for v in violations
+    ]
+    return {
+        "$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "informationUri": "docs/analysis.md",
+                        "rules": sarif_rules,
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+            }
+        ],
+    }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -223,10 +435,23 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument(
         "--select", default=None, metavar="CODES",
-        help="comma-separated rule codes to run (default: all)",
+        help="comma-separated rule codes to run (default: the profile's rules)",
     )
     parser.add_argument(
-        "--format", choices=["text", "json"], default="text", dest="output_format",
+        "--profile", choices=sorted(PROFILES), default="src",
+        help="rule profile: src (all rules) or tests (RPL000/101/102)",
+    )
+    parser.add_argument(
+        "--format", choices=["text", "json", "sarif"], default="text",
+        dest="output_format",
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--exclude", action="append", default=[], metavar="SUBSTRING",
+        help="skip files whose path contains SUBSTRING (repeatable)",
     )
     parser.add_argument(
         "--statistics", action="store_true", help="append per-rule counts",
@@ -243,17 +468,27 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     select = args.select.split(",") if args.select else None
     try:
-        violations = lint_paths(args.paths, select=select)
+        violations = lint_paths(
+            args.paths, select=select, profile=args.profile, exclude=args.exclude
+        )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
     if args.output_format == "json":
-        print(json.dumps([v.__dict__ for v in violations], indent=2))
-    elif violations:
-        print(format_violations(violations, statistics=args.statistics))
+        report = json.dumps([v.__dict__ for v in violations], indent=2)
+    elif args.output_format == "sarif":
+        report = json.dumps(to_sarif(violations), indent=2)
+    else:
+        report = format_violations(violations, statistics=args.statistics)
+
+    if args.output is not None:
+        Path(args.output).write_text(report + "\n", encoding="utf-8")
+    elif report and (violations or args.output_format != "text"):
+        print(report)
     if violations:
         print(f"{len(violations)} violation(s) found", file=sys.stderr)
         return 1

@@ -34,10 +34,16 @@ RPL005
 from __future__ import annotations
 
 import ast
-from collections.abc import Iterator
+from collections.abc import Callable, Iterator
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
-__all__ = ["Rule", "ALL_RULES"]
+if TYPE_CHECKING:
+    from repro.analysis.cfg import FunctionCFG
+    from repro.analysis.dataflow import ModuleScopes
+    from repro.analysis.symbols import ProjectSymbolTable
+
+__all__ = ["BASE_RULES", "META_RULE", "Finding", "Rule", "RuleContext"]
 
 #: A single finding: (line, column, message).
 Finding = tuple[int, int, str]
@@ -60,18 +66,70 @@ _RNG_TYPES = frozenset(
 )
 
 
+class RuleContext:
+    """Everything a checker may need about one module, built lazily.
+
+    Token-level rules only touch ``tree``/``path``/``source``; the RPL1xx
+    dataflow rules additionally pull ``scopes`` (lexical scope tree with
+    per-binding value origins), ``function_cfgs`` (statement-granular
+    control-flow graphs), and ``symbols`` (the cross-module import-resolving
+    table, shared across the whole lint run). The expensive artefacts are
+    memoised so multiple rules pay for them once.
+    """
+
+    def __init__(
+        self,
+        tree: ast.Module,
+        path: str,
+        source: str,
+        symbols: ProjectSymbolTable | None = None,
+    ) -> None:
+        self.tree = tree
+        self.path = path
+        self.source = source
+        self.symbols = symbols
+        self._scopes: ModuleScopes | None = None
+        self._function_cfgs: list[FunctionCFG] | None = None
+
+    @property
+    def scopes(self) -> ModuleScopes:
+        if self._scopes is None:
+            from repro.analysis.dataflow import build_scopes
+
+            self._scopes = build_scopes(self.tree)
+        return self._scopes
+
+    @property
+    def function_cfgs(self) -> list[FunctionCFG]:
+        if self._function_cfgs is None:
+            from repro.analysis.cfg import iter_function_cfgs
+
+            self._function_cfgs = list(iter_function_cfgs(self.tree))
+        return self._function_cfgs
+
+
+#: Checker signature shared by every concrete rule.
+Checker = Callable[[RuleContext], Iterator[Finding]]
+
+
 @dataclass(frozen=True)
 class Rule:
-    """One lint rule: metadata plus a ``check`` callable."""
+    """One lint rule: metadata plus a ``check`` callable.
+
+    ``checker`` is ``None`` for the RPL000 meta rule, whose findings
+    (syntax errors, unused or unjustified suppressions) are produced by
+    the engine itself rather than by a per-module checker.
+    """
 
     code: str
     summary: str
     rationale: str
-    checker: object = field(repr=False)
+    checker: Checker | None = field(repr=False, default=None)
 
-    def check(self, tree: ast.Module, path: str, source: str) -> Iterator[Finding]:
-        """Yield ``(line, col, message)`` findings for ``tree``."""
-        yield from self.checker(tree, path, source)  # type: ignore[operator]
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        """Yield ``(line, col, message)`` findings for ``ctx.tree``."""
+        if self.checker is not None:
+            yield from self.checker(ctx)
 
 
 def _dotted_name(node: ast.expr) -> list[str] | None:
@@ -90,10 +148,10 @@ def _dotted_name(node: ast.expr) -> list[str] | None:
 # ----------------------------------------------------------------------
 # RPL001 — raw distance-hook calls
 # ----------------------------------------------------------------------
-def _check_raw_hooks(tree: ast.Module, path: str, source: str) -> Iterator[Finding]:
-    if path.endswith(_RAW_HOOK_ALLOWLIST):
+def _check_raw_hooks(ctx: RuleContext) -> Iterator[Finding]:
+    if ctx.path.endswith(_RAW_HOOK_ALLOWLIST):
         return
-    for node in ast.walk(tree):
+    for node in ast.walk(ctx.tree):
         if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
             continue
         attr = node.func.attr
@@ -209,9 +267,9 @@ class _RandomnessVisitor(ast.NodeVisitor):
         self.generic_visit(node)
 
 
-def _check_unseeded_randomness(tree: ast.Module, path: str, source: str) -> Iterator[Finding]:
+def _check_unseeded_randomness(ctx: RuleContext) -> Iterator[Finding]:
     visitor = _RandomnessVisitor()
-    visitor.visit(tree)
+    visitor.visit(ctx.tree)
     yield from visitor.findings
 
 
@@ -243,8 +301,8 @@ def _is_distance_value(node: ast.expr) -> bool:
     return False
 
 
-def _check_distance_equality(tree: ast.Module, path: str, source: str) -> Iterator[Finding]:
-    for node in ast.walk(tree):
+def _check_distance_equality(ctx: RuleContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
         if not isinstance(node, ast.Compare):
             continue
         operands = [node.left, *node.comparators]
@@ -326,11 +384,11 @@ class _LoopDepthVisitor(ast.NodeVisitor):
         self.generic_visit(node)
 
 
-def _check_nested_distance_loops(tree: ast.Module, path: str, source: str) -> Iterator[Finding]:
-    if any(marker in path for marker in _SANCTIONED_ALL_PAIRS):
+def _check_nested_distance_loops(ctx: RuleContext) -> Iterator[Finding]:
+    if any(marker in ctx.path for marker in _SANCTIONED_ALL_PAIRS):
         return
     visitor = _LoopDepthVisitor()
-    visitor.visit(tree)
+    visitor.visit(ctx.tree)
     yield from visitor.findings
 
 
@@ -363,8 +421,9 @@ def _has_public_content(tree: ast.Module) -> bool:
     )
 
 
-def _check_declares_all(tree: ast.Module, path: str, source: str) -> Iterator[Finding]:
-    basename = path.rsplit("/", 1)[-1]
+def _check_declares_all(ctx: RuleContext) -> Iterator[Finding]:
+    tree = ctx.tree
+    basename = ctx.path.rsplit("/", 1)[-1]
     if basename.startswith("_") and basename != "__init__.py":
         return  # private modules and __main__ entry points
     if not _has_public_content(tree):
@@ -377,7 +436,14 @@ def _check_declares_all(tree: ast.Module, path: str, source: str) -> Iterator[Fi
         )
 
 
-ALL_RULES: tuple[Rule, ...] = (
+META_RULE = Rule(
+    code="RPL000",
+    summary="lint integrity: syntax errors, unused or unjustified suppressions",
+    rationale="a suppression that no longer fires (or carries no reason) hides drift",
+    checker=None,
+)
+
+BASE_RULES: tuple[Rule, ...] = (
     Rule(
         code="RPL001",
         summary="no raw metric hook calls outside metrics/base.py and core/routing.py",

@@ -1,0 +1,214 @@
+"""Cross-module symbol table for the reprolint dataflow rules.
+
+RPL101 (pickle-safety) must decide whether a name handed to a worker
+boundary resolves to a **module-level definition** — the property CPython's
+pickle actually requires of functions and classes. Within one module that
+is a scope question; across modules it needs an import-resolving table:
+``from repro.parallel.worker import run_shard`` is pickle-safe because
+``worker.py`` defines ``run_shard`` at module level, and that fact lives in
+a different file than the call site.
+
+:class:`ProjectSymbolTable` parses every module it is given (plus, by
+default, the installed ``repro`` package source), records each module's
+top-level bindings, and resolves ``from repro.x import y`` chains
+transitively within the project. Imports that leave the project (numpy,
+stdlib) resolve to :data:`EXTERNAL` — assumed module-level, which keeps the
+analysis sound in the "no false positives" direction.
+
+The table is a pure read model: building it never imports project code.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "EXTERNAL",
+    "ModuleBindings",
+    "ProjectSymbolTable",
+    "Symbol",
+]
+
+#: Maximum ``from x import y`` hops followed when resolving a re-export.
+_MAX_HOPS = 16
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """One resolved top-level binding."""
+
+    #: Dotted module the binding was finally found in.
+    module: str
+    #: Binding name within that module.
+    name: str
+    #: ``"function"``, ``"class"``, ``"lambda"``, ``"assignment"``,
+    #: ``"import"`` (an imported *module* object), or ``"external"``.
+    kind: str
+    #: Line of the definition (0 for external).
+    line: int = 0
+
+    @property
+    def is_module_level_callable(self) -> bool:
+        """Pickle-safe by reference: a def/class at module scope.
+
+        Module-level ``lambda`` assignments are *not* pickle-safe — pickle
+        serializes functions by qualified name, and a lambda's
+        ``__qualname__`` is ``"<lambda>"``.
+        """
+        return self.kind in ("function", "class", "external")
+
+
+#: Sentinel for names that resolve outside the project (assumed safe).
+EXTERNAL = Symbol(module="<external>", name="<external>", kind="external")
+
+
+@dataclass
+class ModuleBindings:
+    """Top-level bindings of one parsed module."""
+
+    module: str
+    path: str
+    #: name -> ("function" | "class" | "lambda" | "assignment", line)
+    defs: dict[str, tuple[str, int]]
+    #: imported name -> (source module, original name); original name is
+    #: ``""`` for ``import x``-style whole-module bindings.
+    imports: dict[str, tuple[str, str]]
+
+
+def _module_name_for(path: Path) -> str | None:
+    """Dotted module name for ``path``, rooted at the ``repro`` package.
+
+    ``.../src/repro/parallel/pool.py`` -> ``repro.parallel.pool``;
+    files outside a ``repro`` package tree return ``None`` (they can be
+    indexed but never imported-from by project code).
+    """
+    parts = list(path.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return ".".join(parts[i:])
+    return None
+
+
+def _bind_module(module: str, path: str, tree: ast.Module) -> ModuleBindings:
+    defs: dict[str, tuple[str, int]] = {}
+    imports: dict[str, tuple[str, str]] = {}
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            defs[node.name] = ("function", node.lineno)
+        elif isinstance(node, ast.ClassDef):
+            defs[node.name] = ("class", node.lineno)
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            value = node.value
+            kind = "lambda" if isinstance(value, ast.Lambda) else "assignment"
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    defs[target.id] = (kind, node.lineno)
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                continue  # relative imports are unused in this codebase
+            for alias in node.names:
+                imports[alias.asname or alias.name] = (node.module, alias.name)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                imports[bound] = (alias.name, "")
+    return ModuleBindings(module=module, path=path, defs=defs, imports=imports)
+
+
+class ProjectSymbolTable:
+    """Top-level bindings of every project module, import-resolved.
+
+    Build one with :meth:`from_paths` (optionally seeded with the
+    installed ``repro`` package source via :meth:`with_package`) and query
+    it with :meth:`resolve_import`.
+    """
+
+    def __init__(self) -> None:
+        self._modules: dict[str, ModuleBindings] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_source(self, path: str | Path, source: str) -> None:
+        """Index one module's source (ignored on syntax errors)."""
+        p = Path(path)
+        module = _module_name_for(p)
+        if module is None:
+            return
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError:
+            return
+        self._modules[module] = _bind_module(module, str(path), tree)
+
+    @classmethod
+    def from_paths(cls, paths: list[Path]) -> "ProjectSymbolTable":
+        table = cls()
+        for path in paths:
+            try:
+                table.add_source(path, path.read_text(encoding="utf-8"))
+            except OSError:
+                continue
+        return table
+
+    def with_package(self) -> "ProjectSymbolTable":
+        """Also index the importable ``repro`` package source, so linting
+        ``tests/`` still resolves ``from repro.x import y`` precisely."""
+        try:
+            import repro
+
+            root = Path(repro.__file__).parent
+        except Exception:
+            return self
+        for path in sorted(root.rglob("*.py")):
+            module = _module_name_for(path)
+            if module is not None and module not in self._modules:
+                try:
+                    self.add_source(path, path.read_text(encoding="utf-8"))
+                except OSError:
+                    continue
+        return self
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def module(self, dotted: str) -> ModuleBindings | None:
+        """Bindings of ``dotted``, or None when outside the project."""
+        return self._modules.get(dotted)
+
+    def resolve_import(self, module: str, name: str) -> Symbol:
+        """Resolve ``from <module> import <name>`` to its defining symbol.
+
+        Follows re-export chains inside the project (``repro.parallel``'s
+        ``__init__`` re-exporting ``pool.ShardSupervisor``). Anything that
+        leaves the project resolves to :data:`EXTERNAL`.
+        """
+        current_module, current_name = module, name
+        for _ in range(_MAX_HOPS):
+            bindings = self._modules.get(current_module)
+            if bindings is None:
+                return EXTERNAL
+            if current_name in bindings.defs:
+                kind, line = bindings.defs[current_name]
+                return Symbol(
+                    module=current_module, name=current_name, kind=kind, line=line
+                )
+            if current_name in bindings.imports:
+                source_module, original = bindings.imports[current_name]
+                if original == "":
+                    # ``import x`` whole-module binding.
+                    return Symbol(
+                        module=current_module, name=current_name, kind="import"
+                    )
+                current_module, current_name = source_module, original
+                continue
+            # ``from repro.pkg import submodule`` where the name is a module.
+            if f"{current_module}.{current_name}" in self._modules:
+                return Symbol(module=current_module, name=current_name, kind="import")
+            return EXTERNAL
+        return EXTERNAL

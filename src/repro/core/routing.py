@@ -226,7 +226,7 @@ def ensure_leaf_geometry(
     for i in stale:
         # Raw hook: geometry maintenance is NCD-neutral by design (see
         # module docstring); tracked via stats.maintenance_evals.
-        row = metric._one_to_many(clustroids[i], clustroids)  # reprolint: disable=RPL001
+        row = metric._one_to_many(clustroids[i], clustroids)
         stats.maintenance_evals += n
         pair[i, :] = row
         pair[:, i] = row
@@ -253,7 +253,7 @@ def ensure_sample_geometry(
     )
     # Raw hook: geometry maintenance is NCD-neutral by design (see module
     # docstring); tracked via stats.maintenance_evals.
-    pair = np.asarray(metric._pairwise(flat), dtype=np.float64)  # reprolint: disable=RPL001
+    pair = np.asarray(metric._pairwise(flat), dtype=np.float64)
     stats.maintenance_evals += len(flat) * (len(flat) - 1) // 2
     geom = SampleGeometry(positions, pair)
     cache.geometry = geom

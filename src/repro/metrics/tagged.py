@@ -50,4 +50,4 @@ class TaggedMetric(DistanceFunction):
     def _distance(self, a: Any, b: Any) -> float:
         # Wrapper hook-to-hook delegation: NCD is counted once, by whichever
         # public wrapper (this one's or the inner metric's) was entered.
-        return self.inner._distance(a[1], b[1])  # reprolint: disable=RPL001
+        return self.inner._distance(a[1], b[1])  # reprolint: disable=RPL001 -- hook delegation; the public wrapper counts

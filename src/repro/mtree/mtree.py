@@ -239,7 +239,7 @@ class MTree:
                 # Best-first search prunes via the triangle inequality; the
                 # inner loop is bounded by node capacity, and these counted
                 # calls are exactly the query cost the index exists to shrink.
-                d = self.metric.distance(query, e.obj)  # reprolint: disable=RPL004
+                d = self.metric.distance(query, e.obj)  # reprolint: disable=RPL004 -- triangle-pruned search; inner loop bounded by node capacity
                 if node.is_leaf:
                     if d <= current_radius():
                         heapq.heappush(best, (-d, next(counter), e.obj))
@@ -294,7 +294,7 @@ class MTree:
                 if routing is not None:
                     # NCD-neutral audit: invariant checks must not perturb the
                     # call counter (cf. repro.analysis.audit).
-                    d = self.metric._distance(e.obj, routing)  # reprolint: disable=RPL001
+                    d = self.metric._distance(e.obj, routing)  # reprolint: disable=RPL001 -- NCD-neutral invariant audit
                     if e.dist_to_parent is None or abs(d - e.dist_to_parent) > 1e-9:
                         raise TreeInvariantError("stale dist_to_parent")
                     if d - 1e-9 > radius:

@@ -295,8 +295,10 @@ def parallel_fit(
                 n = int(result.by_site[site])
                 metric.count_external(n, site=site)
                 attributed += n
-            if result.n_calls > attributed:
-                metric.count_external(result.n_calls - attributed)
+            # Unconditional residual booking: count_external(0) is a no-op,
+            # and an over-attributed shard (negative residual) must raise
+            # rather than silently skew sum(by_site) vs n_calls.
+            metric.count_external(result.n_calls - attributed)
 
     def on_retry(task: ShardTask, failure: ShardFailure, delay: float) -> None:
         with tracer.span("shard-retry"):

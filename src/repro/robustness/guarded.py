@@ -283,7 +283,7 @@ class GuardedMetric(DistanceFunction):
             try:
                 # The guard *is* the counting layer: it budgets and counts in
                 # its own public wrappers, then probes the raw untrusted hook.
-                value = float(self.inner._distance(a, b))  # reprolint: disable=RPL001
+                value = float(self.inner._distance(a, b))  # reprolint: disable=RPL001 -- the guard is the counting layer probing the raw hook
             except Exception as exc:  # the whole point: d is untrusted
                 error = exc
                 problem = repr(exc)
@@ -371,7 +371,7 @@ class GuardedMetric(DistanceFunction):
             # faulty kernel falls back to guarded pair-by-pair evaluation
             # without double counting.
             try:
-                raw = self.inner._one_to_many(obj, objects)  # reprolint: disable=RPL001
+                raw = self.inner._one_to_many(obj, objects)  # reprolint: disable=RPL001 -- the guard is the counting layer probing the raw hook
             except Exception:
                 raw = None
             out = self._validated_batch(raw, (n,))
@@ -394,7 +394,7 @@ class GuardedMetric(DistanceFunction):
         self._check_budget(0)
         if self._batch_fits_budget(pairs):
             try:
-                raw = self.inner._pairwise(objects)  # reprolint: disable=RPL001
+                raw = self.inner._pairwise(objects)  # reprolint: disable=RPL001 -- the guard is the counting layer probing the raw hook
             except Exception:
                 raw = None
             out = self._validated_batch(raw, (n, n))
@@ -416,7 +416,7 @@ class GuardedMetric(DistanceFunction):
         self._check_budget(0)
         if self._batch_fits_budget(na * nb):
             try:
-                raw = self.inner._cross(objects_a, objects_b)  # reprolint: disable=RPL001
+                raw = self.inner._cross(objects_a, objects_b)  # reprolint: disable=RPL001 -- the guard is the counting layer probing the raw hook
             except Exception:
                 raw = None
             out = self._validated_batch(raw, (na, nb))

@@ -1,0 +1,20 @@
+"""Fixture: RPL000 — stale, unjustified, and unknown suppressions."""
+
+__all__ = ["stale", "unjustified", "unknown_code", "genuinely_used"]
+
+
+def stale(metric, a, b):
+    # The counted public API violates nothing, so this suppression is dead.
+    return metric.distance(a, b)  # reprolint: disable=RPL001 -- stale on purpose
+
+
+def unjustified(metric, a, b):
+    return metric._distance(a, b)  # reprolint: disable=RPL001
+
+
+def unknown_code(x):
+    return x  # reprolint: disable=RPL999 -- no such rule
+
+
+def genuinely_used(metric, a, b):
+    return metric._distance(a, b)  # reprolint: disable=RPL001 -- fixture: used and justified

@@ -1,0 +1,45 @@
+"""Fixture: RPL101 — pickle-unsafe objects shipped to worker boundaries."""
+
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import Process
+
+__all__ = [
+    "ship_lambda",
+    "ship_local_def",
+    "ship_local_class",
+    "ship_module_level",
+]
+
+
+def module_level_task(x):
+    return x * 2
+
+
+class ModuleLevelDriver:
+    pass
+
+
+def ship_lambda(pool: ProcessPoolExecutor):
+    work = lambda x: x + 1
+    return pool.submit(work, 3)
+
+
+def ship_local_def(pool: ProcessPoolExecutor):
+    def local_task(x):
+        return x - 1
+
+    return pool.submit(local_task, 3)
+
+
+def ship_local_class():
+    class LocalDriver:
+        pass
+
+    return Process(target=module_level_task, args=(LocalDriver,))
+
+
+def ship_module_level(pool: ProcessPoolExecutor):
+    # Negative: module-level defs pickle by qualified name and import
+    # cleanly in a spawned worker.
+    proc = Process(target=module_level_task, args=(ModuleLevelDriver,))
+    return pool.submit(module_level_task, 3), proc

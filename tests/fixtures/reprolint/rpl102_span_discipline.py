@@ -1,0 +1,49 @@
+"""Fixture: RPL102 — push_site/pop_site pairing across CFG paths.
+
+``leaks_on_exception`` is the acceptance case: the pop is syntactically
+present and runs on the straight-line path, but a raise inside the
+distance call skips it — only a path-sensitive analysis can tell this
+apart from ``paired``.
+"""
+
+from repro.metrics.base import pop_site, push_site
+
+__all__ = [
+    "leaks_on_exception",
+    "unmatched_pop",
+    "paired",
+    "paired_conditional",
+]
+
+
+def leaks_on_exception(metric, obj, others):
+    push_site("fixture")
+    dists = metric.one_to_many(obj, others)  # a raise here skips the pop
+    pop_site()
+    return dists
+
+
+def unmatched_pop(values):
+    total = sum(values)
+    pop_site()
+    return total
+
+
+def paired(metric, obj, others):
+    # Negative: the finally runs on every path, normal or exceptional.
+    push_site("fixture")
+    try:
+        return metric.one_to_many(obj, others)
+    finally:
+        pop_site()
+
+
+def paired_conditional(metric, obj, others, attribute):
+    # Negative: both branches keep the stack balanced.
+    if attribute:
+        push_site("fixture")
+        try:
+            return metric.one_to_many(obj, others)
+        finally:
+            pop_site()
+    return metric.one_to_many(obj, others)

@@ -1,0 +1,42 @@
+"""Fixture: RPL103 — RNG seed provenance."""
+
+import time
+
+import numpy as np
+
+__all__ = [
+    "literal_seed",
+    "clock_seed",
+    "bare_entropy",
+    "none_seed",
+    "param_seed",
+    "spawned_seed",
+]
+
+
+def literal_seed():
+    return np.random.default_rng(1234)
+
+
+def clock_seed():
+    return np.random.default_rng(int(time.time()))
+
+
+def bare_entropy():
+    return np.random.default_rng()
+
+
+def none_seed():
+    return np.random.default_rng(None)
+
+
+def param_seed(seed):
+    # Negative: the seed flows in from the caller.
+    return np.random.default_rng(seed)
+
+
+def spawned_seed(seed):
+    # Negative: derived from a SeedSequence dataflow.
+    parent = np.random.SeedSequence(seed)
+    child = parent.spawn(1)[0]
+    return np.random.default_rng(child)

@@ -1,0 +1,14 @@
+"""Fixture: RPL104 — external-count booking outside the accounting layer.
+
+This file's path is *not* allowlisted, so both bookings below are
+violations. The post-domination half of the rule is exercised by
+``tests/test_reprolint_flow.py`` with allowlisted paths.
+"""
+
+__all__ = ["books_outside_accounting_layer"]
+
+
+def books_outside_accounting_layer(metric, shard):
+    for site, n in shard.by_site.items():
+        metric.count_external(n, site=site)
+    metric.count_external(shard.n_calls)

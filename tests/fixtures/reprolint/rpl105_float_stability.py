@@ -1,0 +1,33 @@
+"""Fixture: RPL105 — catastrophic-cancellation shapes (BETULA worklist).
+
+The rule is scoped to the numerics modules, so the tests lint this text
+under a ``src/repro/birch/...`` path.
+"""
+
+import numpy as np
+
+__all__ = [
+    "radius_sq_from_moments",
+    "difference_of_squares",
+    "accumulate_ss",
+    "stable_radius",
+]
+
+
+def radius_sq_from_moments(ss, n, centroid):
+    return ss / n - float(np.dot(centroid, centroid))
+
+
+def difference_of_squares(a, b):
+    return a * a - b * b
+
+
+def accumulate_ss(state, vec):
+    state.ss += float(np.dot(vec, vec))
+
+
+def stable_radius(vectors, centroid):
+    # Negative: the centered form squares *after* subtracting, so nothing
+    # cancels.
+    diffs = vectors - centroid
+    return float(np.sqrt((diffs * diffs).sum(axis=1).mean()))

@@ -9,7 +9,7 @@ def suppressed_hook(metric, a, b):
 
 def suppressed_eq(metric, a, b):
     d = metric.distance(a, b)
-    return d == 0.0  # reprolint: disable=all
+    return d == 0.0  # reprolint: disable=all -- test fixture
 
 
 def unsuppressed(metric, a, b):

@@ -193,7 +193,7 @@ class TestLedger:
         ledger = CallLedger()
         previous = activate_ledger(ledger)
         try:
-            pop_site()  # push happened while attribution was disabled
+            pop_site()  # reprolint: disable=RPL102 -- exercises the empty-stack tolerance on purpose
             assert ledger.stack == []
         finally:
             deactivate_ledger(previous)

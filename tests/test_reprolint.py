@@ -169,7 +169,7 @@ class TestFramework:
 
     def test_file_wide_suppression(self):
         src = (
-            "# reprolint: disable-file=RPL005\n"
+            "# reprolint: disable-file=RPL005 -- fixture, not a public module\n"
             "def f(m, a, b):\n"
             "    return m._distance(a, b)\n"
         )
@@ -186,7 +186,8 @@ class TestFramework:
 
     def test_rule_catalogue_complete(self):
         assert [r.code for r in ALL_RULES] == [
-            "RPL001", "RPL002", "RPL003", "RPL004", "RPL005",
+            "RPL000", "RPL001", "RPL002", "RPL003", "RPL004", "RPL005",
+            "RPL101", "RPL102", "RPL103", "RPL104", "RPL105",
         ]
         for rule in ALL_RULES:
             assert rule.summary and rule.rationale
