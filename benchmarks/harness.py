@@ -48,11 +48,21 @@ from repro.metrics import EuclideanDistance
 from repro.observability import Tracer, format_summary
 from repro.utils import peak_rss_kb
 
-__all__ = ["run_harness", "run_pruning_benchmark", "run_parallel_benchmark", "main"]
+__all__ = [
+    "run_harness",
+    "run_pruning_benchmark",
+    "run_parallel_benchmark",
+    "run_clara_benchmark",
+    "main",
+]
 
 DEFAULT_OUTPUT = Path(__file__).parent / "BENCH_birchstar.json"
 PRUNING_OUTPUT = Path(__file__).parent / "BENCH_pruning.json"
 PARALLEL_OUTPUT = Path(__file__).parent / "BENCH_parallel.json"
+CLARA_OUTPUT = Path(__file__).parent / "BENCH_clara.json"
+
+#: Subsamples per CLARA leg (the classic recommendation).
+CLARA_SAMPLES = 5
 
 #: Logical shard count of the parallel benchmark. Pinned independently of
 #: ``n_jobs`` so the merged tree — and hence the committed NCD baseline —
@@ -405,6 +415,176 @@ def run_parallel_benchmark(
     return doc
 
 
+def _clara_workloads(scale: str) -> list[dict[str, Any]]:
+    """Figure 4–6 cells with generous node budgets.
+
+    The sampled global phase only pays off when the scan leaves *many*
+    leaf clustroids (its per-swap cost is O(sample) instead of O(N_sub));
+    the paper-style tiny budgets of the pruning benchmark consolidate to
+    ~k clustroids, where every "subsample" is the whole set. The budgets
+    here are tuned to land each smoke-scale scan in the several-hundred
+    clustroid regime the sampled phase targets.
+    """
+    cfg = resolve_scale(scale)
+    return [
+        {"name": "fig4_cells", "dim": 20, "n_clusters": 50,
+         "n_points": max(cfg.sweep_points), "seed": 50, "max_nodes": 100},
+        {"name": "fig5_cells", "dim": 20, "n_clusters": 50,
+         "n_points": max(cfg.sweep_points), "seed": 60, "max_nodes": 110},
+        {"name": "fig6_cells", "dim": 20, "n_clusters": max(cfg.sweep_clusters),
+         "n_points": cfg.fig6_points, "seed": 70, "max_nodes": 100},
+    ]
+
+
+#: Tracer sites charged by each kind of global phase.
+_EXACT_SITES = ("global-phase",)
+_SAMPLED_SITES = ("global-sample", "global-assign")
+
+
+def _clara_run(
+    objects: list, ds: Any, workload: dict[str, Any], method: str, n_jobs: int
+) -> dict[str, Any]:
+    """One traced scan + global phase + labeling; returns the leg record.
+
+    The scan always runs sequentially so every leg owns a byte-identical
+    tree; only the sampled searches fan out (``model.n_jobs`` is set after
+    the fit, before the global phase).
+    """
+    from repro.evaluation.metrics import clustroid_quality, distortion
+    from repro.pipelines.labeling import nearest_assignment
+
+    k = workload["n_clusters"]
+    metric = EuclideanDistance()
+    tracer = Tracer()
+    start = time.perf_counter()
+    with tracer:
+        model = BUBBLE(
+            metric, max_nodes=workload["max_nodes"], seed=0, tracer=tracer,
+            **_TREE_PARAMS,
+        )
+        model.fit(objects)
+        scan_seconds = time.perf_counter() - start
+        model.n_jobs = n_jobs
+        global_start = time.perf_counter()
+        search = model.global_phase(
+            k, method=method, global_samples=CLARA_SAMPLES, seed=0
+        )
+        global_seconds = time.perf_counter() - global_start
+        with tracer.span("redistribute"):
+            labels = nearest_assignment(metric, objects, search.medoids_)
+    wall = time.perf_counter() - start
+    tracer.close()
+    summary = tracer.summary()
+    sites = _SAMPLED_SITES if method == "clara" else _EXACT_SITES
+    return {
+        "method": method,
+        "n_jobs": n_jobs,
+        "wall_seconds": round(wall, 3),
+        "scan_seconds": round(scan_seconds, 3),
+        "global_seconds": round(global_seconds, 3),
+        "n_subclusters": len(model.subclusters_),
+        "ncd_total": summary["ncd_total"],
+        "ncd_by_site": summary["ncd_by_site"],
+        "ncd_global": sum(summary["ncd_by_site"].get(s, 0) for s in sites),
+        "medoid_indices": list(search.medoid_indices_),
+        "search_cost": round(float(search.cost_), 6),
+        "samples": model.global_phase_samples_,
+        "quality": {
+            "clustroid_quality": round(
+                clustroid_quality(ds.centers, search.medoids_), 6
+            ),
+            "distortion": round(distortion(ds.points, labels), 6),
+        },
+        "conservation": sum(summary["ncd_by_site"].values()) == summary["ncd_total"],
+        "peak_rss_kb": peak_rss_kb(),
+    }
+
+
+def run_clara_benchmark(
+    scale: str = "smoke",
+    output: str | Path = CLARA_OUTPUT,
+    n_jobs: int = 2,
+    verbose: bool = True,
+) -> dict[str, Any]:
+    """Exact-vs-sampled global phase comparison; writes ``BENCH_clara.json``.
+
+    Each Figure 4–6 workload runs three legs over byte-identical trees:
+    the exact sequential CLARANS reference, CLARA on ``n_jobs`` workers,
+    and CLARA again on one worker — the sampled result must be bit-
+    identical across the two worker counts, spend fewer global-phase
+    distance calls than the exact search at equal ``k``, and stay within
+    5% of its distortion. The committed file is the baseline the
+    ``test_clara_gate.py`` CI gate compares against; wall-clock columns
+    are recorded for the ≥ 4-CPU speedup leg but never gated elsewhere.
+    """
+    records = []
+    for workload in _clara_workloads(scale):
+        ds = make_cell_dataset(
+            dim=workload["dim"], n_clusters=workload["n_clusters"],
+            n_points=workload["n_points"], seed=workload["seed"],
+        )
+        objects = list(ds.points)
+        legs = {}
+        for leg_name, method, jobs in (
+            ("exact", "clarans", 1),
+            ("clara", "clara", n_jobs),
+            ("clara_repeat", "clara", 1),
+        ):
+            if verbose:
+                print(f"[harness] clara benchmark: {workload['name']} / "
+                      f"{leg_name} (n_jobs={jobs}) at scale {scale!r} ...",
+                      flush=True)
+            legs[leg_name] = _clara_run(objects, ds, workload, method, jobs)
+        exact, clara, repeat = legs["exact"], legs["clara"], legs["clara_repeat"]
+        record = {
+            "workload": workload,
+            "exact": exact,
+            "clara": clara,
+            "clara_repeat": repeat,
+            "ncd_global_exact": exact["ncd_global"],
+            "ncd_global_sampled": clara["ncd_global"],
+            "ncd_saving": (
+                round(1.0 - clara["ncd_global"] / exact["ncd_global"], 4)
+                if exact["ncd_global"] else 0.0
+            ),
+            "distortion_ratio": (
+                round(
+                    clara["quality"]["distortion"] / exact["quality"]["distortion"],
+                    6,
+                )
+                if exact["quality"]["distortion"] else 1.0
+            ),
+            "deterministic": (
+                clara["medoid_indices"] == repeat["medoid_indices"]
+                and clara["search_cost"] == repeat["search_cost"]
+            ),
+            "conservation": all(
+                leg["conservation"] for leg in (exact, clara, repeat)
+            ),
+        }
+        records.append(record)
+        if verbose:
+            print(f"[harness]   global NCD {record['ncd_global_exact']} -> "
+                  f"{record['ncd_global_sampled']} "
+                  f"({record['ncd_saving']:.1%} saved); "
+                  f"distortion ratio {record['distortion_ratio']:.3f}; "
+                  f"deterministic={record['deterministic']}")
+    doc = {
+        "format": "repro-bench-clara-v1",
+        "scale": scale,
+        "global_samples": CLARA_SAMPLES,
+        "n_jobs": n_jobs,
+        "cpu_count": os.cpu_count(),
+        "usable_cpus": usable_cpus(),
+        "records": records,
+    }
+    output = Path(output)
+    output.write_text(json.dumps(doc, indent=2, sort_keys=False) + "\n", encoding="utf-8")
+    if verbose:
+        print(f"[harness] wrote {output}")
+    return doc
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="harness", description="traced benchmark runs -> BENCH_birchstar.json"
@@ -431,12 +611,26 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes for the parallel benchmark legs (default 4)",
     )
     parser.add_argument("--parallel-output", default=str(PARALLEL_OUTPUT))
+    parser.add_argument(
+        "--clara", action="store_true",
+        help="run the exact-vs-sampled global phase comparison instead "
+             "(writes BENCH_clara.json)",
+    )
+    parser.add_argument(
+        "--clara-jobs", type=int, default=2, metavar="N",
+        help="worker processes for the parallel CLARA leg (default 2)",
+    )
+    parser.add_argument("--clara-output", default=str(CLARA_OUTPUT))
     args = parser.parse_args(argv)
     if args.pruning:
         run_pruning_benchmark(scale=args.scale, output=args.pruning_output)
     elif args.parallel:
         run_parallel_benchmark(
             scale=args.scale, output=args.parallel_output, n_jobs=args.jobs
+        )
+    elif args.clara:
+        run_clara_benchmark(
+            scale=args.scale, output=args.clara_output, n_jobs=args.clara_jobs
         )
     else:
         run_harness(scale=args.scale, output=args.output, only=args.only)

@@ -1,0 +1,138 @@
+"""Regression gate for the CLARA sampled global phase.
+
+Re-runs the exact-vs-sampled comparison (same Figure 4–6 workloads, seeds,
+and node budgets as the committed ``BENCH_clara.json``) and asserts the
+sampled phase's contract:
+
+* **economy** — at equal ``k`` the sampled phase spends strictly fewer
+  global-phase distance calls than the exact sequential CLARANS reference
+  on every workload;
+* **quality** — full-dataset distortion under the sampled medoids stays
+  within 5% of the exact reference's (it may also beat it: five restarts
+  over five subsamples escape local optima the single exact search falls
+  into);
+* **determinism** — the CLARA legs at ``n_jobs=2`` and ``n_jobs=1``
+  produce bit-identical medoids and costs, so worker count is provably
+  irrelevant to the result;
+* **conservation** — the per-site ledger keeps partitioning each leg's
+  total NCD exactly, sample re-booking included;
+* **baseline** — global-phase NCD stays within tolerance of the committed
+  ``BENCH_clara.json``, so search-cost drift fails CI instead of landing;
+* **speedup** — on >= 4 usable CPUs, the parallel sampled phase beats the
+  exact sequential one on wall-clock (a single-core box runs every other
+  check and records its honest numbers).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from benchmarks.harness import CLARA_OUTPUT, run_clara_benchmark, usable_cpus
+
+#: Relative tolerance vs the committed baseline's global-phase NCD.
+TOLERANCE = 0.02
+
+#: Allowed relative excess of CLARA's distortion over exact CLARANS's.
+DISTORTION_TOLERANCE = 0.05
+
+#: The acceptance bar for parallel-sampled vs exact-sequential wall time.
+MIN_SPEEDUP = 1.5
+
+
+@pytest.fixture(scope="module")
+def clara_doc(tmp_path_factory):
+    out = tmp_path_factory.mktemp("clara") / "BENCH_clara.json"
+    return run_clara_benchmark(scale="smoke", output=out, n_jobs=2, verbose=False)
+
+
+@pytest.fixture(scope="module")
+def baseline_doc():
+    if not CLARA_OUTPUT.exists():
+        pytest.skip("no committed BENCH_clara.json baseline")
+    return json.loads(Path(CLARA_OUTPUT).read_text(encoding="utf-8"))
+
+
+def test_sampled_ncd_below_exact(clara_doc):
+    for record in clara_doc["records"]:
+        name = record["workload"]["name"]
+        assert record["ncd_global_sampled"] < record["ncd_global_exact"], (
+            f"{name}: sampled global phase spent "
+            f"{record['ncd_global_sampled']} calls vs exact "
+            f"{record['ncd_global_exact']} — sampling must be cheaper at equal k"
+        )
+
+
+def test_distortion_within_tolerance_of_exact(clara_doc):
+    for record in clara_doc["records"]:
+        name = record["workload"]["name"]
+        assert record["distortion_ratio"] <= 1.0 + DISTORTION_TOLERANCE, (
+            f"{name}: CLARA distortion is {record['distortion_ratio']:.3f}x "
+            f"the exact reference (bar: {1.0 + DISTORTION_TOLERANCE:.2f}x)"
+        )
+
+
+def test_sampled_phase_is_deterministic_across_n_jobs(clara_doc):
+    for record in clara_doc["records"]:
+        name = record["workload"]["name"]
+        assert record["deterministic"], (
+            f"{name}: CLARA at n_jobs=2 and n_jobs=1 disagree: "
+            f"{record['clara']['medoid_indices']} vs "
+            f"{record['clara_repeat']['medoid_indices']}"
+        )
+        assert record["clara"]["ncd_total"] == record["clara_repeat"]["ncd_total"]
+
+
+def test_conservation_law_holds_per_leg(clara_doc):
+    for record in clara_doc["records"]:
+        for leg_name in ("exact", "clara", "clara_repeat"):
+            leg = record[leg_name]
+            assert sum(leg["ncd_by_site"].values()) == leg["ncd_total"], (
+                f"{record['workload']['name']}/{leg_name}"
+            )
+
+
+def test_sample_accounting_sums_to_site(clara_doc):
+    # The global-sample site must be exactly the sum of what the workers
+    # reported home — re-booking may not invent or drop calls.
+    for record in clara_doc["records"]:
+        leg = record["clara"]
+        booked = leg["ncd_by_site"].get("global-sample", 0)
+        reported = sum(s["n_calls"] for s in leg["samples"])
+        assert booked == reported, record["workload"]["name"]
+
+
+def test_within_tolerance_of_committed_baseline(clara_doc, baseline_doc):
+    assert baseline_doc["format"] == clara_doc["format"]
+    fresh = {r["workload"]["name"]: r for r in clara_doc["records"]}
+    for want in baseline_doc["records"]:
+        name = want["workload"]["name"]
+        got = fresh[name]
+        assert got["workload"] == want["workload"]
+        for column in ("ncd_global_exact", "ncd_global_sampled"):
+            assert got[column] == pytest.approx(want[column], rel=TOLERANCE), (
+                f"{name}: {column} drifted: {got[column]} vs committed "
+                f"baseline {want[column]}"
+            )
+
+
+@pytest.mark.skipif(
+    usable_cpus() < 4,
+    reason="speedup gate needs >= 4 usable CPUs; this machine has fewer",
+)
+def test_parallel_sampled_beats_exact_wall(tmp_path):
+    doc = run_clara_benchmark(
+        scale="smoke", output=tmp_path / "BENCH_clara_4.json", n_jobs=4,
+        verbose=False,
+    )
+    for record in doc["records"]:
+        name = record["workload"]["name"]
+        exact = record["exact"]["global_seconds"]
+        sampled = record["clara"]["global_seconds"]
+        assert sampled > 0
+        assert exact / sampled >= MIN_SPEEDUP, (
+            f"{name}: parallel sampled phase took {sampled:.2f}s vs exact "
+            f"{exact:.2f}s ({exact / sampled:.2f}x, bar {MIN_SPEEDUP}x)"
+        )

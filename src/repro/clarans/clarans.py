@@ -8,12 +8,16 @@ improves it is a local optimum. The best of ``num_local`` local optima wins.
 
 The swap evaluation uses the standard incremental cost delta from cached
 nearest/second-nearest medoid distances, so one candidate swap costs O(N)
-distance calls rather than O(N * K).
+distance calls rather than O(N * K). The caches stay exact throughout —
+the initial assignment and every accepted swap recompute them in full —
+so the winning restart's nearest/label arrays are reused directly for
+``labels_``/``cost_`` instead of paying a final k×n re-derivation pass.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
+from typing import Any
 
 import numpy as np
 
@@ -22,6 +26,10 @@ from repro.metrics.base import DistanceFunction
 from repro.utils.rng import ensure_rng
 
 __all__ = ["CLARANS"]
+
+#: The three exact per-restart caches: nearest distance, second-nearest
+#: distance, and nearest-medoid label for every object.
+_Caches = tuple[np.ndarray, np.ndarray, np.ndarray]
 
 
 class CLARANS:
@@ -46,6 +54,8 @@ class CLARANS:
     ----------
     medoids_:
         The winning medoid objects.
+    medoid_indices_:
+        Position of each winning medoid in the fitted object sequence.
     labels_:
         Index of the closest medoid per object.
     cost_:
@@ -58,8 +68,8 @@ class CLARANS:
         metric: DistanceFunction,
         num_local: int = 2,
         max_neighbors: int | None = None,
-        seed=None,
-    ):
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
         if n_clusters < 1:
             raise ParameterError(f"n_clusters must be >= 1, got {n_clusters}")
         if num_local < 1:
@@ -71,14 +81,15 @@ class CLARANS:
         self.num_local = int(num_local)
         self.max_neighbors = max_neighbors
         self._rng = ensure_rng(seed)
-        self.medoids_: list | None = None
+        self.medoids_: list[Any] | None = None
+        self.medoid_indices_: list[int] | None = None
         self.labels_: np.ndarray | None = None
         self.cost_: float | None = None
 
     # ------------------------------------------------------------------
-    def fit(self, objects: Sequence) -> "CLARANS":
-        objects = list(objects)
-        n = len(objects)
+    def fit(self, objects: Sequence[Any]) -> "CLARANS":
+        objs = list(objects)
+        n = len(objs)
         if n == 0:
             raise EmptyDatasetError("CLARANS.fit requires at least one object")
         if self.n_clusters > n:
@@ -89,10 +100,10 @@ class CLARANS:
             max_neighbors = max(250, int(0.0125 * k * (n - k)))
 
         best_cost = np.inf
-        best_medoids: np.ndarray | None = None
+        best: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
         for _ in range(self.num_local):
-            medoids = self._rng.choice(n, size=k, replace=False)
-            nearest, second, near_lab = self._distances_to_medoids(objects, medoids)
+            medoids = np.asarray(self._rng.choice(n, size=k, replace=False))
+            nearest, second, near_lab = self._distances_to_medoids(objs, medoids)
             cost = float(nearest.sum())
             examined = 0
             while examined < max_neighbors:
@@ -102,12 +113,12 @@ class CLARANS:
                     examined += 1
                     continue
                 delta, d_new = self._swap_delta(
-                    objects, medoids, swap_out, swap_in, nearest, second, near_lab
+                    objs, swap_out, swap_in, nearest, second, near_lab
                 )
                 if delta < -1e-12:
                     medoids[swap_out] = swap_in
                     nearest, second, near_lab = self._apply_swap(
-                        objects, medoids, swap_out, d_new, nearest, second, near_lab
+                        objs, medoids, swap_out, d_new
                     )
                     cost += delta
                     examined = 0
@@ -115,19 +126,32 @@ class CLARANS:
                     examined += 1
             if cost < best_cost:
                 best_cost = cost
-                best_medoids = medoids.copy()
+                # The caches are exact for the restart's final medoid set
+                # (full recomputation at init and after every accepted
+                # swap), so keep them instead of re-deriving nearest/labels
+                # with a k*n pass after the restarts.
+                best = (medoids.copy(), nearest.copy(), near_lab.copy())
 
-        nearest, _, labels = self._distances_to_medoids(objects, best_medoids)
-        self.medoids_ = [objects[int(i)] for i in best_medoids]
-        self.labels_ = labels
-        self.cost_ = float(nearest.sum())
+        if best is None:  # pragma: no cover - num_local >= 1 guarantees a best
+            raise NotFittedError("CLARANS found no restart result")
+        best_medoids, best_nearest, best_labels = best
+        self.medoid_indices_ = [int(i) for i in best_medoids]
+        self.medoids_ = [objs[int(i)] for i in best_medoids]
+        self.labels_ = best_labels
+        self.cost_ = float(best_nearest.sum())
         return self
 
     # ------------------------------------------------------------------
-    def _distances_to_medoids(self, objects, medoids):
+    def _distances_to_medoids(
+        self, objects: list[Any], medoids: np.ndarray
+    ) -> _Caches:
         """Nearest and second-nearest medoid distance (and nearest label)
         for every object."""
         cols = [self.metric.one_to_many(objects[int(m)], objects) for m in medoids]
+        return self._caches_from_columns(cols)
+
+    def _caches_from_columns(self, cols: list[np.ndarray]) -> _Caches:
+        """Exact nearest/second/label caches from per-medoid distance rows."""
         dmat = np.vstack(cols)  # (k, n)
         order = np.argsort(dmat, axis=0)
         near_lab = order[0]
@@ -138,7 +162,15 @@ class CLARANS:
             second = np.full(dmat.shape[1], np.inf)
         return nearest, second, near_lab.astype(np.intp)
 
-    def _swap_delta(self, objects, medoids, swap_out, swap_in, nearest, second, near_lab):
+    def _swap_delta(
+        self,
+        objects: list[Any],
+        swap_out: int,
+        swap_in: int,
+        nearest: np.ndarray,
+        second: np.ndarray,
+        near_lab: np.ndarray,
+    ) -> tuple[float, np.ndarray]:
         """Cost change of replacing medoid ``swap_out`` with object
         ``swap_in`` — O(N) distance calls."""
         d_new = self.metric.one_to_many(objects[swap_in], objects)
@@ -148,7 +180,13 @@ class CLARANS:
         new_assign = np.where(lost, np.minimum(second, d_new), np.minimum(nearest, d_new))
         return float(new_assign.sum() - nearest.sum()), d_new
 
-    def _apply_swap(self, objects, medoids, swap_out, d_new, nearest, second, near_lab):
+    def _apply_swap(
+        self,
+        objects: list[Any],
+        medoids: np.ndarray,
+        swap_out: int,
+        d_new: np.ndarray,
+    ) -> _Caches:
         """Recompute the nearest/second caches after an accepted swap.
 
         A full recomputation against the current medoid set keeps the cache
@@ -160,15 +198,7 @@ class CLARANS:
                 cols.append(d_new)
             else:
                 cols.append(self.metric.one_to_many(objects[int(m)], objects))
-        dmat = np.vstack(cols)
-        order = np.argsort(dmat, axis=0)
-        near_lab = order[0]
-        nearest = dmat[near_lab, np.arange(dmat.shape[1])]
-        if dmat.shape[0] > 1:
-            second = dmat[order[1], np.arange(dmat.shape[1])]
-        else:
-            second = np.full(dmat.shape[1], np.inf)
-        return nearest, second, near_lab.astype(np.intp)
+        return self._caches_from_columns(cols)
 
     # ------------------------------------------------------------------
     @property

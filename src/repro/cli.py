@@ -90,6 +90,20 @@ def _build_parser() -> argparse.ArgumentParser:
     clu.add_argument("--algorithm", choices=["bubble", "bubble-fm"], default="bubble")
     clu.add_argument("--n-clusters", type=int, default=None,
                      help="run the hierarchical global phase down to K clusters")
+    clu.add_argument(
+        "--global-phase", choices=["hac", "clarans", "clara"], default="hac",
+        help="global phase over the sub-cluster clustroids: hac (paper "
+             "default), clarans (exact medoid search), or clara (sampled "
+             "parallel medoid search; see docs/performance.md)",
+    )
+    clu.add_argument(
+        "--global-samples", type=int, default=5, metavar="N",
+        help="subsamples searched by the clara global phase (default 5)",
+    )
+    clu.add_argument(
+        "--global-sample-size", type=int, default=None, metavar="N",
+        help="clustroids per clara subsample (default 40 + 2K)",
+    )
     clu.add_argument("--max-nodes", type=int, default=None)
     clu.add_argument("--threshold", type=float, default=0.0)
     clu.add_argument("--image-dim", type=int, default=3)
@@ -319,6 +333,9 @@ def _cmd_cluster(args) -> int:
             algorithm=args.algorithm,
             max_nodes=args.max_nodes,
             image_dim=args.image_dim,
+            global_phase=args.global_phase,
+            global_samples=args.global_samples,
+            global_sample_size=args.global_sample_size,
             assign=True,
             seed=args.seed,
             on_error=args.on_error,
@@ -360,6 +377,7 @@ def _cmd_cluster(args) -> int:
         or report.shards_retried
         or report.workers_crashed
         or report.shards_resumed
+        or report.global_samples
     ):
         print("--- ingest report ---")
         print(report.format())

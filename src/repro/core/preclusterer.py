@@ -201,6 +201,9 @@ class PreClusterer:
         #: sequential fit): shard id, objects, sub-clusters, NCD, wall
         #: time, and worker peak RSS.
         self.shard_summaries_: list[dict] = []
+        #: Per-sample diagnostics of the last sampled global phase (empty
+        #: until :meth:`global_phase` runs with ``method="clara"``).
+        self.global_phase_samples_: list[dict] = []
         self._cursor = 0
 
     # -- subclasses supply the policy ---------------------------------
@@ -540,6 +543,89 @@ class PreClusterer:
         if self.tree_ is None:
             raise NotFittedError(f"{type(self).__name__} has not been fitted yet")
         return self.tree_
+
+    # ------------------------------------------------------------------
+    # Global phase (Section 3.2): medoid search over the leaf clustroids
+    # ------------------------------------------------------------------
+    def global_phase(
+        self,
+        n_clusters: int,
+        *,
+        method: str = "clarans",
+        num_local: int = 2,
+        max_neighbors: int | None = None,
+        global_samples: int = 5,
+        global_sample_size: int | None = None,
+        seed: Any = None,
+        chaos: Any = None,
+    ) -> Any:
+        """Run a medoid global phase over the fitted tree's clustroids.
+
+        ``method="clarans"`` is the exact sequential search (the quality
+        reference); ``"clara"`` draws ``global_samples`` population-weighted
+        subsamples of the clustroids, searches each across this model's
+        worker pool (``n_jobs``), and keeps the candidate with the best
+        full-clustroid-set weighted cost — see :class:`repro.clarans.CLARA`.
+        Sub-cluster populations weight both the draws and the scoring, so
+        big leaves count proportionally.
+
+        Returns the fitted search object (``CLARANS`` or ``CLARA``); CLARA
+        runs also record per-sample diagnostics in
+        :attr:`global_phase_samples_` and fold sample totals into
+        :attr:`ingest_report_`.
+        """
+        if method not in ("clarans", "clara"):
+            raise ParameterError(
+                f'global-phase method must be "clarans" or "clara", got {method!r}'
+            )
+        subclusters = self.subclusters_
+        clustroids = [s.clustroid for s in subclusters]
+        weights = [float(s.n) for s in subclusters]
+        k = min(int(n_clusters), len(clustroids))
+        if seed is None:
+            seed = self._seed
+        if method == "clarans":
+            from repro.clarans import CLARANS
+
+            search: Any = CLARANS(
+                k,
+                self.metric,
+                num_local=num_local,
+                max_neighbors=max_neighbors,
+                seed=seed,
+            )
+            with self.tracer.activation(), self.tracer.span("global-phase"):
+                search.fit(clustroids)
+            self.global_phase_samples_ = []
+        else:
+            from repro.clarans import CLARA
+
+            search = CLARA(
+                k,
+                self.metric,
+                n_samples=global_samples,
+                sample_size=global_sample_size,
+                num_local=num_local,
+                max_neighbors=max_neighbors,
+                n_jobs=self.n_jobs,
+                seed=seed,
+                tracer=self.tracer,
+                max_retries=self.max_shard_retries,
+                retry_backoff=self.shard_retry_backoff,
+                chaos=chaos,
+            )
+            search.fit(clustroids, weights=weights)
+            self.global_phase_samples_ = list(search.sample_summaries_)
+            report = self.ingest_report_
+            report.global_samples = len(search.sample_summaries_)
+            report.global_sample_ncd = sum(
+                int(s["n_calls"]) for s in search.sample_summaries_
+            )
+            report.global_sample_seconds = sum(
+                float(s["elapsed_seconds"]) for s in search.sample_summaries_
+            )
+            report.n_distance_calls = self.metric.n_calls
+        return search
 
     @property
     def subclusters_(self) -> list[SubCluster]:

@@ -71,6 +71,15 @@ class StatsSnapshot:
     shards_resumed: int = 0
     #: Total exponential-backoff delay scheduled between shard retries.
     backoff_seconds_total: float = 0.0
+    #: Subsamples searched by a CLARA-style sampled global phase.
+    global_samples: int = 0
+    #: Worker-side distance calls across those sample searches.
+    global_sample_ncd: int = 0
+    #: Aggregate worker wall-clock seconds across the sample searches.
+    global_sample_seconds: float = 0.0
+    #: Per-sample diagnostics of the sampled global phase (size, NCD,
+    #: wall, costs, attempts), in sample order.
+    global_phase_samples: list[dict] = field(default_factory=list)
 
     @classmethod
     def from_tree(
@@ -122,6 +131,9 @@ class StatsSnapshot:
         report = getattr(model, "ingest_report_", None)
         if report is not None:
             snapshot.apply_report(report)
+        snapshot.global_phase_samples = [
+            dict(s) for s in getattr(model, "global_phase_samples_", [])
+        ]
         return snapshot
 
     def apply_report(self, report: Any) -> None:
@@ -136,6 +148,9 @@ class StatsSnapshot:
         self.workers_crashed = int(get("workers_crashed", 0) or 0)
         self.shards_resumed = int(get("shards_resumed", 0) or 0)
         self.backoff_seconds_total = float(get("backoff_seconds_total", 0.0) or 0.0)
+        self.global_samples = int(get("global_samples", 0) or 0)
+        self.global_sample_ncd = int(get("global_sample_ncd", 0) or 0)
+        self.global_sample_seconds = float(get("global_sample_seconds", 0.0) or 0.0)
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-compatible dict (what the harness and sinks embed)."""
@@ -159,6 +174,10 @@ class StatsSnapshot:
             "workers_crashed": self.workers_crashed,
             "shards_resumed": self.shards_resumed,
             "backoff_seconds_total": self.backoff_seconds_total,
+            "global_samples": self.global_samples,
+            "global_sample_ncd": self.global_sample_ncd,
+            "global_sample_seconds": self.global_sample_seconds,
+            "global_phase_samples": [dict(s) for s in self.global_phase_samples],
         }
 
     def format(self) -> str:
@@ -194,6 +213,10 @@ class StatsSnapshot:
             rows.append(("worker crashes", str(self.workers_crashed)))
             rows.append(("shards resumed", str(self.shards_resumed)))
             rows.append(("retry backoff", f"{self.backoff_seconds_total:.2f}s"))
+        if self.global_samples:
+            rows.append(("global samples", str(self.global_samples)))
+            rows.append(("sample search NCD", str(self.global_sample_ncd)))
+            rows.append(("sample search wall", f"{self.global_sample_seconds:.2f}s"))
         width = max(len(k) for k, _ in rows)
         lines = [f"{k:<{width}}  {v}" for k, v in rows]
         if self.ncd_by_site:
@@ -201,4 +224,15 @@ class StatsSnapshot:
             site_width = max(len(site) for site in self.ncd_by_site)
             for site, calls in sorted(self.ncd_by_site.items(), key=lambda kv: -kv[1]):
                 lines.append(f"  {site:<{site_width}}  {calls}")
+        if self.global_phase_samples:
+            lines.append("global-phase samples:")
+            for s in self.global_phase_samples:
+                lines.append(
+                    f"  sample {s.get('sample_id')}: "
+                    f"size={s.get('sample_size')} "
+                    f"calls={s.get('n_calls')} "
+                    f"cost={float(s.get('full_cost', 0.0)):.6g} "
+                    f"wall={float(s.get('elapsed_seconds', 0.0)):.2f}s "
+                    f"attempts={s.get('n_attempts')}"
+                )
         return "\n".join(lines)

@@ -24,8 +24,12 @@ structure is what makes recovery possible:
 Failures that retrying cannot fix — invalid parameters, the quarantine
 circuit breaker, tree-invariant violations, a global deadline — propagate
 immediately. The supervisor is policy-free about *what* a shard does: it
-runs :func:`repro.parallel.worker.run_shard` and reports
-:class:`SupervisorStats` that the build folds into the ingest report.
+runs the ``runner`` callable (default
+:func:`repro.parallel.worker.run_shard`; the sampled global phase passes
+:func:`repro.clarans.clara.run_sample`) over each task and reports
+:class:`SupervisorStats` that the caller folds into its report. A task
+only needs ``shard_id`` and ``attempt`` attributes; the runner must be a
+module-level function so the spawn start method can pickle it.
 """
 
 from __future__ import annotations
@@ -47,7 +51,7 @@ from repro.exceptions import (
     TreeInvariantError,
     WorkerCrashError,
 )
-from repro.parallel.worker import ShardResult, ShardTask, run_shard
+from repro.parallel.worker import run_shard
 
 __all__ = ["ShardFailure", "ShardSupervisor", "SupervisorStats"]
 
@@ -106,7 +110,7 @@ class SupervisorStats:
 class _ShardState:
     """Mutable per-shard progress (attempt counter, backoff release time)."""
 
-    task: ShardTask
+    task: Any
     attempt: int = 0
     not_before: float = 0.0
 
@@ -120,15 +124,15 @@ class _LiveWorker:
     started: float
 
 
-def _worker_entry(conn: Any, task: ShardTask) -> None:
-    """Spawn target: run the shard, send ``("result"|"error", payload)``.
+def _worker_entry(conn: Any, runner: Callable[[Any], Any], task: Any) -> None:
+    """Spawn target: run the task, send ``("result"|"error", payload)``.
 
     Module-level so the spawn start method can pickle it. A worker that
     dies before (or while) sending leaves the parent an EOF on ``conn`` —
     that silence *is* the crash signal.
     """
     try:
-        message: tuple[str, Any] = ("result", run_shard(task))
+        message: tuple[str, Any] = ("result", runner(task))
     except BaseException as exc:  # delivered to the parent, not lost
         message = ("error", exc)
     try:
@@ -149,7 +153,15 @@ class ShardSupervisor:
     Parameters
     ----------
     tasks:
-        One :class:`~repro.parallel.worker.ShardTask` per shard.
+        One task per shard — typically
+        :class:`~repro.parallel.worker.ShardTask`, but any picklable
+        object with mutable ``shard_id``/``attempt`` attributes works
+        (the sampled global phase supervises
+        :class:`~repro.clarans.clara.SampleTask` this way).
+    runner:
+        Module-level function executed over each task (in a worker
+        process, inline, or as the fallback); defaults to
+        :func:`~repro.parallel.worker.run_shard`.
     n_jobs:
         Max concurrently live worker processes; ``<= 1`` runs every shard
         inline (same retry semantics, no process boundary).
@@ -186,22 +198,24 @@ class ShardSupervisor:
 
     def __init__(
         self,
-        tasks: list[ShardTask],
+        tasks: list[Any],
         *,
         n_jobs: int,
+        runner: Callable[[Any], Any] = run_shard,
         max_retries: int = 2,
         backoff: float = 0.25,
         backoff_multiplier: float = 2.0,
         shard_timeout: float | None = None,
         deadline_seconds: float | None = None,
-        prepare_attempt: Callable[[ShardTask, int], ShardTask] | None = None,
-        on_result: Callable[[ShardResult], None] | None = None,
-        on_retry: Callable[[ShardTask, ShardFailure, float], None] | None = None,
+        prepare_attempt: Callable[[Any, int], Any] | None = None,
+        on_result: Callable[[Any], None] | None = None,
+        on_retry: Callable[[Any, ShardFailure, float], None] | None = None,
         inline_fallback: bool = True,
         sleep: Callable[[float], None] = time.sleep,
         clock: Callable[[], float] = time.monotonic,
     ):
         self.tasks = list(tasks)
+        self.runner = runner
         self.n_jobs = int(n_jobs)
         self.max_retries = int(max_retries)
         self.backoff = float(backoff)
@@ -218,7 +232,7 @@ class ShardSupervisor:
         self.stats = SupervisorStats()
 
     # ------------------------------------------------------------------
-    def run(self) -> list[ShardResult]:
+    def run(self) -> list[Any]:
         """Execute every shard; returns results in task order."""
         if self.deadline_seconds is not None:
             self._deadline_at = self._clock() + float(self.deadline_seconds)
@@ -239,7 +253,7 @@ class ShardSupervisor:
                 "live workers were cancelled cleanly"
             )
 
-    def _prepare(self, state: _ShardState) -> ShardTask:
+    def _prepare(self, state: _ShardState) -> Any:
         task = state.task
         task.attempt = state.attempt
         if self.prepare_attempt is not None:
@@ -248,9 +262,9 @@ class ShardSupervisor:
         return task
 
     def _complete(
-        self, state: _ShardState, result: ShardResult, results: dict[int, ShardResult]
+        self, state: _ShardState, result: Any, results: dict[int, Any]
     ) -> None:
-        if result.resumed_at is not None:
+        if getattr(result, "resumed_at", None) is not None:
             self.stats.shards_resumed += 1
         results[state.task.shard_id] = result
         if self.on_result is not None:
@@ -281,23 +295,23 @@ class ShardSupervisor:
             )
         return ("fallback", 0.0)
 
-    def _fallback(self, state: _ShardState, results: dict[int, ShardResult]) -> None:
+    def _fallback(self, state: _ShardState, results: dict[int, Any]) -> None:
         """Graceful degradation: the shard's last stand, in-parent."""
         self.stats.inline_fallbacks += 1
         task = self._prepare(state)
-        self._complete(state, run_shard(task), results)
+        self._complete(state, self.runner(task), results)
 
     # ------------------------------------------------------------------
     # Inline backend (n_jobs <= 1) — same retry semantics, no processes
     # ------------------------------------------------------------------
-    def _run_inline(self, states: list[_ShardState]) -> dict[int, ShardResult]:
-        results: dict[int, ShardResult] = {}
+    def _run_inline(self, states: list[_ShardState]) -> dict[int, Any]:
+        results: dict[int, Any] = {}
         for state in states:
             while state.task.shard_id not in results:
                 self._check_deadline()
                 task = self._prepare(state)
                 try:
-                    result = run_shard(task)
+                    result = self.runner(task)
                 except _NON_RETRYABLE:
                     raise
                 except Exception as exc:
@@ -313,9 +327,9 @@ class ShardSupervisor:
     # ------------------------------------------------------------------
     # Pool backend
     # ------------------------------------------------------------------
-    def _run_pool(self, states: list[_ShardState]) -> dict[int, ShardResult]:
+    def _run_pool(self, states: list[_ShardState]) -> dict[int, Any]:
         context = multiprocessing.get_context("spawn")
-        results: dict[int, ShardResult] = {}
+        results: dict[int, Any] = {}
         pending: deque[_ShardState] = deque(states)
         waiting: list[_ShardState] = []
         live: dict[Any, _LiveWorker] = {}
@@ -352,7 +366,9 @@ class ShardSupervisor:
     ) -> None:
         task = self._prepare(state)
         recv_conn, send_conn = context.Pipe(duplex=False)
-        process = context.Process(target=_worker_entry, args=(send_conn, task))
+        process = context.Process(
+            target=_worker_entry, args=(send_conn, self.runner, task)
+        )
         process.daemon = True
         process.start()
         # Close the parent's copy of the write end, so a dead worker's pipe
@@ -364,7 +380,7 @@ class ShardSupervisor:
         self,
         conn: Any,
         worker: _LiveWorker,
-        results: dict[int, ShardResult],
+        results: dict[int, Any],
         waiting: list[_ShardState],
     ) -> None:
         try:
@@ -397,7 +413,7 @@ class ShardSupervisor:
         state: _ShardState,
         kind: str,
         detail: str,
-        results: dict[int, ShardResult],
+        results: dict[int, Any],
         waiting: list[_ShardState],
     ) -> None:
         action, _ = self._after_failure(state, kind, detail)
@@ -409,7 +425,7 @@ class ShardSupervisor:
     def _kill_stragglers(
         self,
         live: dict[Any, _LiveWorker],
-        results: dict[int, ShardResult],
+        results: dict[int, Any],
         waiting: list[_ShardState],
     ) -> None:
         if self.shard_timeout is None:

@@ -33,7 +33,7 @@ __all__ = ["ClusteringResult", "cluster_dataset"]
 
 _ALGORITHMS = ("bubble", "bubble-fm")
 _CENTER_METHODS = ("auto", "centroid", "medoid")
-_GLOBAL_METHODS = ("hac", "clarans")
+_GLOBAL_METHODS = ("hac", "clarans", "clara")
 
 
 @dataclass
@@ -96,6 +96,9 @@ def cluster_dataset(
     linkage: str = "average",
     center_method: str = "auto",
     global_method: str = "hac",
+    global_phase: str | None = None,
+    global_samples: int = 5,
+    global_sample_size: int | None = None,
     assign: bool = True,
     seed=None,
     on_error: str = "raise",
@@ -123,7 +126,14 @@ def cluster_dataset(
     ``"clarans"`` runs the randomized medoid search over the clustroids
     instead (a domain-specific alternative in the spirit of Section 2's
     "a domain-specific clustering method can further analyze the
-    sub-clusters output by our algorithm").
+    sub-clusters output by our algorithm"); ``"clara"`` is the sampled
+    parallel variant of that search — ``global_samples``
+    population-weighted subsamples of the clustroids searched across the
+    worker pool, best candidate by full-clustroid-set cost (see
+    ``docs/performance.md``, "Sampled global phase"). ``global_phase`` is
+    an explicit alias that overrides ``global_method`` when given;
+    ``global_sample_size`` pins the per-subsample size (default
+    ``40 + 2k``).
 
     ``on_error``, ``max_quarantine``, ``checkpoint_path``,
     ``checkpoint_every`` and ``resume_from`` are forwarded to the
@@ -161,6 +171,8 @@ def cluster_dataset(
         raise ParameterError(
             f"center_method must be one of {_CENTER_METHODS}, got {center_method!r}"
         )
+    if global_phase is not None:
+        global_method = global_phase
     if global_method not in _GLOBAL_METHODS:
         raise ParameterError(
             f"global_method must be one of {_GLOBAL_METHODS}, got {global_method!r}"
@@ -199,27 +211,37 @@ def cluster_dataset(
     clustroids = [s.clustroid for s in subclusters]
     weights = [s.n for s in subclusters]
     k = min(n_clusters, len(subclusters))
-    with tracer.activation(), tracer.span("global-phase"):
+    with tracer.activation():
         if global_method == "hac":
-            hac = AgglomerativeClusterer(n_clusters=k, linkage=linkage)
-            if n_jobs > 1:
-                from repro.parallel import pairwise_matrix
+            with tracer.span("global-phase"):
+                hac = AgglomerativeClusterer(n_clusters=k, linkage=linkage)
+                if n_jobs > 1:
+                    from repro.parallel import pairwise_matrix
 
-                with tracer.span("global-matrix"):
-                    dm = pairwise_matrix(metric, clustroids, n_jobs=n_jobs)
-                hac.fit(distance_matrix=dm, weights=weights)
-            else:
-                hac.fit(objects=clustroids, metric=metric, weights=weights)
+                    with tracer.span("global-matrix"):
+                        dm = pairwise_matrix(metric, clustroids, n_jobs=n_jobs)
+                    hac.fit(distance_matrix=dm, weights=weights)
+                else:
+                    hac.fit(objects=clustroids, metric=metric, weights=weights)
             sub_labels = hac.labels_
             n_final = hac.n_clusters_
         else:
-            from repro.clarans import CLARANS
+            # The driver owns the medoid global phase: exact CLARANS runs
+            # under a "global-phase" span, CLARA under its own
+            # "global-sample"/"global-assign" spans, and CLARA sample
+            # diagnostics land in the model's report.
+            search = model.global_phase(
+                k,
+                method=global_method,
+                num_local=2,
+                global_samples=global_samples,
+                global_sample_size=global_sample_size,
+                seed=seed,
+            )
+            sub_labels = search.labels_
+            n_final = search.n_clusters_
 
-            clarans = CLARANS(k, metric, num_local=2, seed=seed)
-            clarans.fit(clustroids)
-            sub_labels = clarans.labels_
-            n_final = clarans.n_clusters_
-
+    with tracer.activation(), tracer.span("global-phase"):
         if center_method == "auto":
             center_method = "centroid" if _is_vector(clustroids[0]) else "medoid"
         centers: list = []

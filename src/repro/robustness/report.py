@@ -47,6 +47,14 @@ class IngestReport:
     shards_resumed: int = 0
     #: Total exponential-backoff delay scheduled between shard retries.
     backoff_seconds_total: float = 0.0
+    #: Subsamples searched by a CLARA-style sampled global phase (0 when
+    #: the global phase was exact or never ran).
+    global_samples: int = 0
+    #: Distance calls spent inside the sample searches (worker-side NCD,
+    #: re-booked on the parent metric under the ``global-sample`` site).
+    global_sample_ncd: int = 0
+    #: Aggregate worker wall-clock seconds across the sample searches.
+    global_sample_seconds: float = 0.0
     #: Wall-clock seconds spent scanning (cumulative).
     elapsed_seconds: float = 0.0
 
@@ -90,6 +98,9 @@ class IngestReport:
             out.workers_crashed += report.workers_crashed
             out.shards_resumed += report.shards_resumed
             out.backoff_seconds_total += report.backoff_seconds_total
+            out.global_samples += report.global_samples
+            out.global_sample_ncd += report.global_sample_ncd
+            out.global_sample_seconds += report.global_sample_seconds
             out.elapsed_seconds += report.elapsed_seconds
         return out
 
@@ -118,6 +129,12 @@ class IngestReport:
                 f"{self.workers_crashed} worker crashes, "
                 f"{self.shards_resumed} shards resumed "
                 f"({self.backoff_seconds_total:.2f}s backoff)"
+            )
+        if self.global_samples:
+            lines.append(
+                f"global samples:      {self.global_samples} "
+                f"({self.global_sample_ncd} calls, "
+                f"{self.global_sample_seconds:.2f}s search)"
             )
         lines.append(f"scan time:           {self.elapsed_seconds:.2f}s")
         return "\n".join(lines)

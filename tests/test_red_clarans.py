@@ -127,3 +127,89 @@ class TestCLARANS:
         model = CLARANS(1, EuclideanDistance(), max_neighbors=10, seed=4).fit(points)
         assert model.n_clusters_ == 1
         assert np.all(model.labels_ == 0)
+
+    def test_k_equals_one_finds_exact_medoid(self):
+        # k == 1 exercises the second-nearest == inf path: every object
+        # "loses" its medoid on a swap, so the delta must come entirely
+        # from the candidate's distance column.
+        pts = [np.array([float(x)]) for x in (0.0, 1.0, 2.0, 3.0, 4.5, 9.0, 9.5, 10.0)]
+        model = CLARANS(1, EuclideanDistance(), num_local=2, max_neighbors=200, seed=7).fit(pts)
+        brute = min(
+            sum(abs(float(p[0]) - float(q[0])) for q in pts) for p in pts
+        )
+        assert model.cost_ == pytest.approx(brute)
+        assert np.all(model.labels_ == 0)
+
+    def test_duplicate_objects(self):
+        pts = [np.zeros(2)] * 3 + [np.full(2, 5.0)] * 3
+        model = CLARANS(2, EuclideanDistance(), max_neighbors=20, seed=5).fit(pts)
+        assert model.cost_ == pytest.approx(0.0)
+        found = {tuple(np.asarray(m)) for m in model.medoids_}
+        assert found == {(0.0, 0.0), (5.0, 5.0)}
+
+    def test_medoid_indices_match_medoids(self, blob_data):
+        points, _, _ = blob_data
+        model = CLARANS(3, EuclideanDistance(), num_local=1, max_neighbors=20, seed=6).fit(points)
+        assert len(model.medoid_indices_) == 3
+        for idx, medoid in zip(model.medoid_indices_, model.medoids_):
+            assert np.array_equal(np.asarray(points[idx]), np.asarray(medoid))
+
+    def test_no_final_rederivation_pass(self):
+        # With k == n every proposed swap hits a sitting medoid and is
+        # skipped without a distance call, so the whole fit costs exactly
+        # the k*n = n^2 calls of the initial assignment. The old
+        # implementation re-derived labels with a second k*n pass at the
+        # end (2*n^2 total); this pins the saving.
+        pts = [np.array([float(i), 0.0]) for i in range(5)]
+        metric = EuclideanDistance()
+        CLARANS(5, metric, num_local=1, max_neighbors=10, seed=0).fit(pts)
+        assert metric.n_calls == 5 * 5
+
+    def test_examined_resets_on_accepted_swap(self):
+        # Scripted proposals: a skipped medoid proposal (examined -> 1),
+        # then an accepted swap. If the accepted swap resets the examined
+        # counter, the search has budget (max_neighbors=2) for two more
+        # evaluated proposals; without the reset it would stop after one.
+        pts = [np.array([x]) for x in (0.0, 1.0, 2.0, 10.0)]
+        model = _CountingCLARANS(1, EuclideanDistance(), num_local=1, max_neighbors=2)
+        model._rng = _ScriptedRNG(
+            choices=[[3]],
+            # (swap_out, swap_in) pairs: medoid self-proposal, accepted
+            # move 10 -> 1, rejected 1 -> 0, rejected 1 -> 2.
+            integers=[0, 3, 0, 1, 0, 0, 0, 2],
+        )
+        model.fit(pts)
+        assert model.delta_calls == 3
+        assert model._rng.exhausted
+        assert model.medoid_indices_ == [1]
+        assert model.cost_ == pytest.approx(11.0)
+
+
+class _ScriptedRNG:
+    """Pops predetermined values for CLARANS's choice/integers draws."""
+
+    def __init__(self, choices, integers):
+        self._choices = [np.asarray(c) for c in choices]
+        self._integers = list(integers)
+
+    def choice(self, n, size, replace=False):
+        return self._choices.pop(0)
+
+    def integers(self, low, high):
+        return self._integers.pop(0)
+
+    @property
+    def exhausted(self):
+        return not self._choices and not self._integers
+
+
+class _CountingCLARANS(CLARANS):
+    """CLARANS that counts how many swap proposals were actually evaluated."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.delta_calls = 0
+
+    def _swap_delta(self, *args, **kwargs):
+        self.delta_calls += 1
+        return super()._swap_delta(*args, **kwargs)
