@@ -53,6 +53,7 @@ __all__ = [
     "run_pruning_benchmark",
     "run_parallel_benchmark",
     "run_clara_benchmark",
+    "run_memory_benchmark",
     "main",
 ]
 
@@ -60,6 +61,10 @@ DEFAULT_OUTPUT = Path(__file__).parent / "BENCH_birchstar.json"
 PRUNING_OUTPUT = Path(__file__).parent / "BENCH_pruning.json"
 PARALLEL_OUTPUT = Path(__file__).parent / "BENCH_parallel.json"
 CLARA_OUTPUT = Path(__file__).parent / "BENCH_clara.json"
+MEMORY_OUTPUT = Path(__file__).parent / "BENCH_memory.json"
+
+#: Small points in the adversarial long-stream drift cell.
+DRIFT_STREAM_POINTS = 50_000
 
 #: Subsamples per CLARA leg (the classic recommendation).
 CLARA_SAMPLES = 5
@@ -585,6 +590,161 @@ def run_clara_benchmark(
     return doc
 
 
+def _memory_scan(algorithm: str, objs: Any, max_nodes: int) -> dict[str, Any]:
+    """One traced scan recording slab-arena memory accounting + audit."""
+    from repro.analysis.audit import audit_tree
+
+    metric = EuclideanDistance()
+    tracer = Tracer()
+    start = time.perf_counter()
+    with tracer:
+        if algorithm == "bubble":
+            model = BUBBLE(
+                metric, max_nodes=max_nodes, seed=0, tracer=tracer, **_TREE_PARAMS
+            )
+        else:
+            model = BUBBLEFM(
+                metric, max_nodes=max_nodes, image_dim=20, seed=0, tracer=tracer,
+                **_TREE_PARAMS,
+            )
+        model.fit(objs)
+    wall = time.perf_counter() - start
+    tracer.close()
+    summary = tracer.summary()
+    audit = audit_tree(model.tree_, raise_on_error=False)
+    return {
+        "wall_seconds": round(wall, 3),
+        "ncd_total": summary["ncd_total"],
+        "ncd_by_site": summary["ncd_by_site"],
+        "conservation": sum(summary["ncd_by_site"].values()) == summary["ncd_total"],
+        "n_subclusters": model.n_subclusters_,
+        "slab": model.tree_.policy.arena.snapshot(),
+        "audit": {
+            "n_errors": len(audit.errors),
+            "n_warnings": len(audit.warnings),
+        },
+        "peak_rss_kb": peak_rss_kb(),
+    }
+
+
+def _drift_cell(n_small: int = DRIFT_STREAM_POINTS) -> dict[str, Any]:
+    """Long-stream RowSum drift measurement on an adversarial magnitude mix.
+
+    Two tight seed points become the permanent representatives, a third
+    point at offset 1e8 hoists their RowSums to ~1e16, and ``n_small``
+    points at radius 0.5 follow — each contributing a squared distance
+    (~0.25) far below the ulp of the running sum (2.0 at 1e16). The cell
+    reports the relative error of the slab's compensated RowSum against a
+    ``math.fsum`` reference, next to a replay of the pre-slab scalar
+    ``+=`` accumulation over the identical update stream, which loses
+    every small addend.
+    """
+    import math
+
+    from repro.core.bubble import BubblePolicy
+    from repro.core.cftree import CFTree
+
+    rng = np.random.default_rng(0)
+    rep_a = np.array([0.0, 0.0])
+    rep_b = np.array([1.0, 0.0])
+    huge = np.array([1e8, 0.0])
+    theta = rng.uniform(0.0, 2.0 * np.pi, size=n_small)
+    small = list(0.5 * np.stack([np.cos(theta), np.sin(theta)], axis=1))
+
+    metric = EuclideanDistance()
+    policy = BubblePolicy(metric, representation_number=2, sample_size=10, seed=0)
+    tree = CFTree(policy, threshold=1e9, seed=0)
+    start = time.perf_counter()
+    for obj in [rep_a, rep_b, huge, *small]:
+        tree.insert(obj)
+    wall = time.perf_counter() - start
+
+    feature = tree.leaf_features()[0]
+    rest = [rep_b, huge, *small]
+    sq = np.asarray(metric.one_to_many(rep_a, rest), dtype=np.float64) ** 2
+    exact = math.fsum(sq.tolist())
+    stored = feature.rowsums[0]
+    naive = 0.0
+    for v in sq:
+        naive += float(v)
+    return {
+        "n_points": 3 + n_small,
+        "n_features": len(tree.leaf_features()),
+        "wall_seconds": round(wall, 3),
+        "exact_rowsum": exact,
+        "compensated_rel_err": abs(stored - exact) / exact,
+        "naive_rel_err": abs(naive - exact) / exact,
+        "compensation_term": float(
+            policy.arena.compensations[feature._row, 0]
+        ),
+    }
+
+
+def run_memory_benchmark(
+    scale: str = "smoke",
+    output: str | Path = MEMORY_OUTPUT,
+    verbose: bool = True,
+) -> dict[str, Any]:
+    """Slab-arena memory + RowSum drift evidence; writes ``BENCH_memory.json``.
+
+    Each Figure 4–6 workload is scanned once per algorithm with the same
+    seeds and tree parameters as the pruning benchmark (so ``ncd_total``
+    cross-checks against the pruned legs of ``BENCH_pruning.json``), and
+    the record keeps the slab arena's memory accounting — bytes per leaf
+    in the contiguous layout vs the legacy two-lists-of-boxed-floats
+    layout it replaced — plus audit cleanliness, the NCD conservation
+    check, and ``peak_rss_kb``. A separate long-stream drift cell measures
+    compensated-vs-naive RowSum error on an adversarial magnitude spread.
+    The committed file is the baseline ``test_memory_gate.py`` enforces.
+    """
+    records = []
+    for workload in _pruning_workloads(scale):
+        ds = make_cell_dataset(
+            dim=workload["dim"], n_clusters=workload["n_clusters"],
+            n_points=workload["n_points"], seed=workload["seed"],
+        )
+        objs = list(ds.points)
+        max_nodes = paper_max_nodes(workload["n_clusters"])
+        for algorithm in ("bubble", "bubble-fm"):
+            if verbose:
+                print(f"[harness] memory benchmark: {workload['name']} / "
+                      f"{algorithm} at scale {scale!r} ...", flush=True)
+            scan = _memory_scan(algorithm, objs, max_nodes)
+            record = {
+                "workload": workload,
+                "algorithm": algorithm,
+                "max_nodes": max_nodes,
+                **scan,
+            }
+            records.append(record)
+            if verbose:
+                slab = scan["slab"]
+                print(f"[harness]   {slab['rows_used']} leaves, "
+                      f"{slab['bytes_per_leaf']} B/leaf "
+                      f"(legacy {slab['legacy_bytes_per_leaf']}, "
+                      f"-{slab['bytes_reduction']:.1%}); "
+                      f"audit errors {scan['audit']['n_errors']}")
+    if verbose:
+        print(f"[harness] memory benchmark: long-stream drift cell "
+              f"({DRIFT_STREAM_POINTS} absorbs) ...", flush=True)
+    drift = _drift_cell()
+    if verbose:
+        print(f"[harness]   compensated rel err {drift['compensated_rel_err']:.3e} "
+              f"vs naive {drift['naive_rel_err']:.3e}")
+    doc = {
+        "format": "repro-bench-memory-v1",
+        "scale": scale,
+        "records": records,
+        "drift": drift,
+        "peak_rss_kb": peak_rss_kb(),
+    }
+    output = Path(output)
+    output.write_text(json.dumps(doc, indent=2, sort_keys=False) + "\n", encoding="utf-8")
+    if verbose:
+        print(f"[harness] wrote {output}")
+    return doc
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="harness", description="traced benchmark runs -> BENCH_birchstar.json"
@@ -621,6 +781,12 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes for the parallel CLARA leg (default 2)",
     )
     parser.add_argument("--clara-output", default=str(CLARA_OUTPUT))
+    parser.add_argument(
+        "--memory", action="store_true",
+        help="run the slab-arena memory + RowSum drift benchmark instead "
+             "(writes BENCH_memory.json)",
+    )
+    parser.add_argument("--memory-output", default=str(MEMORY_OUTPUT))
     args = parser.parse_args(argv)
     if args.pruning:
         run_pruning_benchmark(scale=args.scale, output=args.pruning_output)
@@ -632,6 +798,8 @@ def main(argv: list[str] | None = None) -> int:
         run_clara_benchmark(
             scale=args.scale, output=args.clara_output, n_jobs=args.clara_jobs
         )
+    elif args.memory:
+        run_memory_benchmark(scale=args.scale, output=args.memory_output)
     else:
         run_harness(scale=args.scale, output=args.output, only=args.only)
     return 0

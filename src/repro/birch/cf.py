@@ -1,9 +1,21 @@
-"""The classic BIRCH cluster feature ``CF = (N, LS, SS)``.
+"""The classic BIRCH cluster feature, stored in BETULA's stable form.
 
-``N`` is the number of points, ``LS`` their vector sum and ``SS`` the sum of
-squared norms. CFs are additive — merging two clusters adds the triples —
-which is exactly the vector-space shortcut unavailable in distance spaces
-that motivated BUBBLE.
+BIRCH's paper CF is the additive triple ``(N, LS, SS)`` — point count,
+vector sum, and sum of squared norms. The triple is algebraically
+sufficient but numerically treacherous: every derived quantity is a
+difference of squared magnitudes (``radius² = SS/N − |LS/N|²``) that
+cancels catastrophically once clusters are far from the origin relative to
+their spread. BETULA (Lang & Schubert, PAPERS.md) replaces the triple with
+``(N, mean, SSE)`` — the running mean and the *sum of squared deviations
+from the mean* — updated with Welford's recurrence per point and Chan's
+parallel rule per merge, so ``radius² = SSE/N`` needs no subtraction at
+all.
+
+This module stores the BETULA form internally while keeping the paper
+triple available as derived ``ls``/``ss`` properties for reporting and
+tests. The SSE itself accumulates through a Neumaier compensated
+accumulator (:mod:`repro.utils.numerics`), so drift stays ``O(eps)``
+relative over arbitrarily long insertion streams.
 """
 
 from __future__ import annotations
@@ -12,37 +24,45 @@ import numpy as np
 
 from repro.core.features import ClusterFeature
 from repro.exceptions import ParameterError
+from repro.utils.numerics import CompensatedAccumulator
 
 __all__ = ["VectorClusterFeature"]
 
 
 class VectorClusterFeature(ClusterFeature):
-    """Additive vector CF with centroid/radius derived in O(dim).
+    """Vector CF in BETULA ``(N, mean, SSE)`` form; centroid/radius in O(dim).
 
     The threshold requirement follows BIRCH: an insertion is admitted only
     if the cluster's *radius after the insertion* stays within ``T``
-    (computable from CF algebra alone, no distance calls).
+    (computable from CF algebra alone, no distance calls — Chan's merge
+    rule evaluated without mutation).
     """
 
-    __slots__ = ("n", "ls", "ss")
+    __slots__ = ("n", "mean", "_sse")
 
     def __init__(self, obj=None, n: int = 0, ls: np.ndarray | None = None, ss: float = 0.0):
         if obj is not None:
             vec = np.asarray(obj, dtype=np.float64)
             self.n = 1
-            self.ls = vec.copy()
-            self.ss = float(np.dot(vec, vec))
+            self.mean = vec.copy()
+            self._sse = CompensatedAccumulator()
         else:
             if ls is None or n <= 0:
                 raise ParameterError("either obj or (n, ls, ss) must be provided")
             self.n = int(n)
-            self.ls = np.asarray(ls, dtype=np.float64).copy()
-            self.ss = float(ss)
+            self.mean = np.asarray(ls, dtype=np.float64) / self.n
+            # One-time conversion at the legacy (N, LS, SS) API boundary:
+            # SSE = SS − N·|mean|² is the only way to recover the deviation
+            # sum from the paper triple. Everything downstream stays in the
+            # stable form, so the cancellation risk is confined to callers
+            # that insist on constructing from (n, ls, ss).
+            sse = float(ss) - self.n * float(np.dot(self.mean, self.mean))
+            self._sse = CompensatedAccumulator(max(sse, 0.0))
 
     # ------------------------------------------------------------------
     @property
     def centroid(self) -> np.ndarray:
-        return self.ls / self.n
+        return self.mean.copy()
 
     @property
     def clustroid(self) -> np.ndarray:
@@ -55,9 +75,23 @@ class VectorClusterFeature(ClusterFeature):
 
     @property
     def radius(self) -> float:
-        c = self.ls / self.n
-        r2 = self.ss / self.n - float(np.dot(c, c))  # reprolint: disable=RPL105 -- BETULA: radius via ss/n - |c|^2 cancels; replace with stable CF* form
-        return float(np.sqrt(max(r2, 0.0)))
+        # BETULA form: radius² = SSE/N directly — no |centroid|² subtraction.
+        return float(np.sqrt(max(self._sse.value, 0.0) / self.n))
+
+    @property
+    def sse(self) -> float:
+        """Sum of squared deviations from the mean (BETULA's stable state)."""
+        return max(self._sse.value, 0.0)
+
+    @property
+    def ls(self) -> np.ndarray:
+        """The paper triple's ``LS`` (vector sum), derived for reporting."""
+        return self.mean * self.n
+
+    @property
+    def ss(self) -> float:
+        """The paper triple's ``SS`` (sum of squared norms), derived."""
+        return self.sse + self.n * float(np.dot(self.mean, self.mean))
 
     @property
     def representatives(self) -> list:
@@ -65,35 +99,47 @@ class VectorClusterFeature(ClusterFeature):
 
     # ------------------------------------------------------------------
     def absorb(self, obj, dist_to_clustroid: float | None = None) -> None:
+        # Welford: mean and SSE update without ever forming |LS|² or SS.
         vec = np.asarray(obj, dtype=np.float64)
+        delta = vec - self.mean
         self.n += 1
-        self.ls += vec
-        self.ss += float(np.dot(vec, vec))  # reprolint: disable=RPL105 -- BETULA: scalar ss accumulation drifts at large n
+        self.mean = self.mean + delta / self.n
+        self._sse.add(float(np.dot(delta, vec - self.mean)))
 
     def merge(self, other: "VectorClusterFeature") -> None:
-        self.n += other.n
-        self.ls += other.ls
-        self.ss += other.ss  # reprolint: disable=RPL105 -- BETULA: scalar ss accumulation drifts at large n
+        # Chan's parallel rule: SSE = SSE₁ + SSE₂ + n₁n₂/n · |mean₂ − mean₁|².
+        n = self.n + other.n
+        diff = other.mean - self.mean
+        self._sse.merge(other._sse)
+        self._sse.add(self.n * other.n / n * float(np.dot(diff, diff)))
+        self.mean = self.mean + (other.n / n) * diff
+        self.n = n
 
     def distance_to(self, other: "VectorClusterFeature") -> float:
-        return float(np.linalg.norm(self.centroid - other.centroid))
+        return float(np.linalg.norm(self.mean - other.mean))
 
     # ------------------------------------------------------------------
     def admits(self, obj, dist: float, threshold: float) -> bool:
         vec = np.asarray(obj, dtype=np.float64)
-        return self._radius_after(1, vec, float(np.dot(vec, vec))) <= threshold
+        return self._radius_after(1, vec, 0.0) <= threshold
 
     def admits_feature(self, other: "VectorClusterFeature", dist: float, threshold: float) -> bool:
-        return self._radius_after(other.n, other.ls, other.ss) <= threshold
+        return self._radius_after(other.n, other.mean, other.sse) <= threshold
 
-    def _radius_after(self, dn: int, dls: np.ndarray, dss: float) -> float:
+    def _radius_after(self, dn: int, dmean: np.ndarray, dsse: float) -> float:
+        """Radius of the would-be merge of ``(dn, dmean, dsse)`` into this CF,
+        via Chan's rule — evaluated without mutating either side."""
         n = self.n + dn
-        ls = self.ls + dls
-        r2 = (self.ss + dss) / n - float(np.dot(ls, ls)) / (n * n)  # reprolint: disable=RPL105 -- BETULA: merge-radius difference of squares cancels
-        return float(np.sqrt(max(r2, 0.0)))
+        diff = np.asarray(dmean, dtype=np.float64) - self.mean
+        sse_new = self._sse.value + dsse + self.n * dn / n * float(np.dot(diff, diff))
+        return float(np.sqrt(max(sse_new, 0.0) / n))
 
     def copy(self) -> "VectorClusterFeature":
-        return VectorClusterFeature(n=self.n, ls=self.ls, ss=self.ss)
+        dup = VectorClusterFeature.__new__(VectorClusterFeature)
+        dup.n = self.n
+        dup.mean = self.mean.copy()
+        dup._sse = self._sse.copy()
+        return dup
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"VectorClusterFeature(n={self.n}, radius={self.radius:.4g})"

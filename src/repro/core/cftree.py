@@ -191,6 +191,11 @@ class CFTree:
         # earlier one from this same batch mutates that entry's n in place,
         # so summing afterwards would double-count the absorbed objects.
         total = sum(feature.n for feature in features)
+        # Foreign features (worker shards, checkpoints) move their slab
+        # storage into this tree's arena before routing — bit-for-bit, no
+        # distance calls, NCD-neutral.
+        for feature in features:
+            self.policy.adopt_feature(feature)
         self._insert_block(
             [(feature, self.policy.routing_object(feature)) for feature in features],
             rebuild=False,

