@@ -54,6 +54,7 @@ __all__ = [
     "run_parallel_benchmark",
     "run_clara_benchmark",
     "run_memory_benchmark",
+    "run_query_benchmark",
     "main",
 ]
 
@@ -62,6 +63,7 @@ PRUNING_OUTPUT = Path(__file__).parent / "BENCH_pruning.json"
 PARALLEL_OUTPUT = Path(__file__).parent / "BENCH_parallel.json"
 CLARA_OUTPUT = Path(__file__).parent / "BENCH_clara.json"
 MEMORY_OUTPUT = Path(__file__).parent / "BENCH_memory.json"
+QUERY_OUTPUT = Path(__file__).parent / "BENCH_query.json"
 
 #: Small points in the adversarial long-stream drift cell.
 DRIFT_STREAM_POINTS = 50_000
@@ -745,6 +747,184 @@ def run_memory_benchmark(
     return doc
 
 
+#: Index backends the query benchmark compares (brute is the reference).
+QUERY_BACKENDS = ("brute", "mtree", "vptree", "cftree")
+
+#: Neighbours per k-NN query.
+QUERY_K = 3
+
+#: Queries per workload (distinct points, so the cross-query bound cache
+#: cannot trivially serve them — repeats are measured separately).
+QUERY_COUNT = 25
+
+
+def _query_vector_workloads(scale: str) -> list[dict[str, Any]]:
+    return _pruning_workloads(scale)
+
+
+def _query_string_workload(scale: str) -> dict[str, Any]:
+    cfg = resolve_scale(scale)
+    n_strings = min(400, max(cfg.sweep_points) // 4)
+    return {"name": "authority_strings", "n_classes": max(20, n_strings // 8),
+            "n_strings": n_strings, "seed": 80}
+
+
+def _query_scan(
+    metric_factory: Callable[[], Any],
+    model: Any,
+    queries: list[Any],
+    radius: float,
+) -> dict[str, Any]:
+    """Query every backend over one fitted model's clustroids.
+
+    Each backend gets a fresh metric and its own bound cache, so the
+    recorded NCD is exactly what that backend spent. Returns per-backend
+    records plus the cross-backend exact-equivalence verdict.
+    """
+    from repro.index import CFTreeIndex, make_index
+
+    indexed = [f.clustroid for f in model.tree_.leaf_features()]
+    backends: dict[str, dict[str, Any]] = {}
+    answers: dict[str, list[Any]] = {}
+    for backend in QUERY_BACKENDS:
+        metric = metric_factory()
+        tracer = Tracer()
+        with tracer:
+            if backend == "cftree":
+                index = CFTreeIndex.from_tree(model.tree_, metric=metric)
+            else:
+                index = make_index(backend, metric)
+                index.build(indexed)
+            keyed = []
+            knn_calls = 0
+            range_calls = 0
+            for q in queries:
+                knn = index.nearest(q, k=QUERY_K)
+                knn_calls += knn.n_calls
+                # Incremental: the range query reuses the distances its
+                # k-NN twin just paid for through the bound cache.
+                rng_result = index.within(q, radius)
+                range_calls += rng_result.n_calls
+                keyed.append((
+                    [(n.index, round(n.distance, 9)) for n in knn],
+                    [(n.index, round(n.distance, 9)) for n in rng_result],
+                ))
+            # A repeated query must be served by the bound cache for free.
+            repeat_calls = index.nearest(queries[0], k=QUERY_K).n_calls
+        tracer.close()
+        summary = tracer.summary()
+        stats = index.stats
+        answers[backend] = keyed
+        backends[backend] = {
+            "build_calls": stats.build_calls,
+            "knn_mean_ncd": round(knn_calls / len(queries), 3),
+            "range_mean_ncd": round(range_calls / len(queries), 3),
+            "repeat_query_calls": repeat_calls,
+            "pruned_fraction": round(
+                stats.candidates_pruned / stats.candidates_total, 4
+            ) if stats.candidates_total else 0.0,
+            "bound_cache": index.bound_cache.as_dict(),
+            "ncd_total": summary["ncd_total"],
+            "ncd_by_site": summary["ncd_by_site"],
+            "conservation": (
+                sum(summary["ncd_by_site"].values()) == summary["ncd_total"]
+            ),
+        }
+    reference = answers["brute"]
+    exact = all(answers[b] == reference for b in QUERY_BACKENDS)
+    brute_knn = backends["brute"]["knn_mean_ncd"]
+    for backend in QUERY_BACKENDS:
+        saved = 1.0 - backends[backend]["knn_mean_ncd"] / brute_knn if brute_knn else 0.0
+        backends[backend]["ncd_saved_knn"] = round(saved, 4)
+    return {
+        "n_indexed": len(indexed),
+        "radius": round(radius, 6),
+        "backends": backends,
+        "exact_equivalence": exact,
+    }
+
+
+def run_query_benchmark(
+    scale: str = "smoke",
+    output: str | Path = QUERY_OUTPUT,
+    verbose: bool = True,
+) -> dict[str, Any]:
+    """Per-backend query NCD vs brute force; writes ``BENCH_query.json``.
+
+    Each Figure 4–6 vector workload (and the authority-strings workload)
+    is preclustered once per backend-metric with identical parameters;
+    every index backend then answers the same ``QUERY_COUNT`` k-NN and
+    range queries over the leaf clustroids. Recorded per backend: build
+    NCD, mean per-query NCD (the headline number — the cf-tree backend
+    must save >= 50% of the brute-scan cost at leaf level, enforced by
+    ``test_query_gate.py``), pruning fraction, bound-cache counters, the
+    repeated-query cost (must be 0 — served entirely from the cross-query
+    cache), per-site ledger totals, and the conservation verdict. The
+    ``exact_equivalence`` flag asserts all backends returned bit-identical
+    ``(index, distance)`` answers.
+    """
+    from repro.datasets import make_authority_dataset
+    from repro.metrics import EditDistance
+
+    records = []
+    workloads: list[tuple[dict[str, Any], Callable[[], Any], str]] = [
+        (w, EuclideanDistance, "vector") for w in _query_vector_workloads(scale)
+    ]
+    workloads.append((_query_string_workload(scale), EditDistance, "string"))
+    for workload, metric_factory, kind in workloads:
+        if verbose:
+            print(f"[harness] query benchmark: {workload['name']} at scale "
+                  f"{scale!r} ...", flush=True)
+        rng = np.random.default_rng(workload["seed"])
+        if kind == "vector":
+            ds = make_cell_dataset(
+                dim=workload["dim"], n_clusters=workload["n_clusters"],
+                n_points=workload["n_points"], seed=workload["seed"],
+            )
+            objs = list(ds.points)
+        else:
+            ds = make_authority_dataset(
+                n_classes=workload["n_classes"], n_strings=workload["n_strings"],
+                seed=workload["seed"],
+            )
+            objs = list(ds.strings)
+        # Index-serving configuration: no memory cap and zero threshold, so
+        # the clustroid hierarchy stays fine-grained (the paper's max_nodes
+        # compression would leave a handful of coarse leaves — the right
+        # shape for preclustering, the wrong one for serving queries).
+        model = BUBBLE(
+            metric_factory(), threshold=0.0, max_nodes=None, seed=0,
+            **_TREE_PARAMS,
+        ).fit(objs)
+        queries = [objs[i] for i in rng.choice(len(objs), QUERY_COUNT, replace=False)]
+        probe = metric_factory().one_to_many(
+            queries[0], [f.clustroid for f in model.tree_.leaf_features()]
+        )
+        radius = float(np.median(probe))
+        record = {"workload": workload, "kind": kind,
+                  **_query_scan(metric_factory, model, queries, radius)}
+        records.append(record)
+        if verbose:
+            for backend in QUERY_BACKENDS:
+                b = record["backends"][backend]
+                print(f"[harness]   {backend:>6}: knn {b['knn_mean_ncd']:.1f} "
+                      f"calls/query ({b['ncd_saved_knn']:.1%} saved), "
+                      f"build {b['build_calls']}, repeat {b['repeat_query_calls']}")
+            assert record["exact_equivalence"], "backends diverged from brute force"
+    doc = {
+        "format": "repro-bench-query-v1",
+        "scale": scale,
+        "k": QUERY_K,
+        "n_queries": QUERY_COUNT,
+        "records": records,
+    }
+    output = Path(output)
+    output.write_text(json.dumps(doc, indent=2, sort_keys=False) + "\n", encoding="utf-8")
+    if verbose:
+        print(f"[harness] wrote {output}")
+    return doc
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="harness", description="traced benchmark runs -> BENCH_birchstar.json"
@@ -787,6 +967,12 @@ def main(argv: list[str] | None = None) -> int:
              "(writes BENCH_memory.json)",
     )
     parser.add_argument("--memory-output", default=str(MEMORY_OUTPUT))
+    parser.add_argument(
+        "--query", action="store_true",
+        help="run the per-backend query NCD comparison instead "
+             "(writes BENCH_query.json)",
+    )
+    parser.add_argument("--query-output", default=str(QUERY_OUTPUT))
     args = parser.parse_args(argv)
     if args.pruning:
         run_pruning_benchmark(scale=args.scale, output=args.pruning_output)
@@ -800,6 +986,8 @@ def main(argv: list[str] | None = None) -> int:
         )
     elif args.memory:
         run_memory_benchmark(scale=args.scale, output=args.memory_output)
+    elif args.query:
+        run_query_benchmark(scale=args.scale, output=args.query_output)
     else:
         run_harness(scale=args.scale, output=args.output, only=args.only)
     return 0

@@ -119,9 +119,43 @@ def test_within_tolerance_of_committed_baseline(parallel_doc, baseline_doc):
     )
 
 
+def test_baseline_records_cpu_environment(baseline_doc):
+    """The committed baseline must carry its recording environment, and it
+    must not be stale relative to this machine.
+
+    ``BENCH_parallel.json`` records ``cpu_count``/``usable_cpus`` at
+    recording time. If this machine can actually exercise the 4-worker
+    speedup path (>= 4 usable CPUs) but the committed numbers came from a
+    smaller box, the baseline's wall-clock and speedup figures are stale —
+    fail loudly with the re-record command instead of silently gating
+    against numbers no current machine produced. On smaller boxes the test
+    records the honest skip annotation (which CPUs we have, which the
+    baseline had) so the skip reason is auditable in CI logs.
+    """
+    recorded = baseline_doc.get("usable_cpus")
+    assert recorded is not None, "baseline predates cpu_count recording; re-record it"
+    here = usable_cpus()
+    if here >= 4 > recorded:
+        pytest.fail(
+            f"committed BENCH_parallel.json was recorded with {recorded} usable "
+            f"CPU(s) but this machine has {here}: the speedup/wall-clock figures "
+            "are stale — re-record with "
+            "`python -m benchmarks.harness --parallel --scale smoke`"
+        )
+    if here < 4:
+        pytest.skip(
+            f"baseline re-record not possible here: machine has {here} usable "
+            f"CPU(s) (< 4); committed baseline recorded cpu_count="
+            f"{baseline_doc.get('cpu_count')}, usable_cpus={recorded}"
+        )
+
+
 @pytest.mark.skipif(
     usable_cpus() < 4,
-    reason="speedup gate needs >= 4 usable CPUs; this machine has fewer",
+    reason=(
+        f"speedup gate needs >= 4 usable CPUs; this machine has "
+        f"{usable_cpus()}"
+    ),
 )
 def test_speedup_on_four_workers(tmp_path):
     doc = run_parallel_benchmark(

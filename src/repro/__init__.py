@@ -39,6 +39,7 @@ from repro.dbscan import MetricDBSCAN
 from repro.core import BUBBLE, BUBBLEFM, CFTree, PreClusterer, SubCluster
 from repro.fastmap import FastMap
 from repro.hac import AgglomerativeClusterer
+from repro.index import MetricIndex, QueryResult, available_backends, make_index
 from repro.mtree import MTree
 from repro.metrics import (
     DistanceFunction,
@@ -65,6 +66,10 @@ __all__ = [
     "SubCluster",
     "FastMap",
     "MTree",
+    "MetricIndex",
+    "QueryResult",
+    "make_index",
+    "available_backends",
     "DistanceFunction",
     "FunctionDistance",
     "EuclideanDistance",

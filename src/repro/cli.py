@@ -17,7 +17,11 @@ And the analysis commands (see ``docs/analysis.md``):
   sanitizer over it;
 * ``stats`` — load a scan checkpoint and print its
   :class:`~repro.observability.StatsSnapshot` (tree shape, threshold,
-  M-pressure).
+  M-pressure);
+* ``query`` — load a scan checkpoint and answer exact ``--k`` nearest /
+  ``--radius`` range queries over its sub-cluster clustroids through a
+  :class:`~repro.index.MetricIndex` backend (default ``cftree``, which
+  reuses the checkpointed tree's cached geometry).
 
 ``cluster`` and ``authority`` accept ``--trace PATH`` to stream a JSONL
 phase trace (see ``docs/observability.md``) and print an end-of-run
@@ -206,6 +210,47 @@ def _build_parser() -> argparse.ArgumentParser:
     aud.add_argument(
         "--show-warnings", action="store_true",
         help="also print warning-severity findings (drift diagnostics)",
+    )
+
+    qr = sub.add_parser(
+        "query",
+        help="answer nearest/range queries over a scan checkpoint's "
+             "sub-cluster clustroids",
+    )
+    qr.add_argument(
+        "checkpoint", help="checkpoint file written during a scan"
+    )
+    qr.add_argument("--type", choices=["vectors", "strings"], required=True)
+    qr.add_argument("--metric", default=None,
+                    help="euclidean|manhattan (vectors), edit|damerau (strings)")
+    qr.add_argument(
+        "--backend", choices=["cftree", "mtree", "vptree", "brute"],
+        default="cftree",
+        help="index engine (default cftree: reuses the checkpointed tree's "
+             "cached geometry)",
+    )
+    qr.add_argument(
+        "--k", type=int, default=None, metavar="K",
+        help="k-nearest-neighbour query (default k=1 when --radius is absent)",
+    )
+    qr.add_argument(
+        "--radius", type=float, default=None, metavar="R",
+        help="range query: everything within distance R (inclusive)",
+    )
+    qr.add_argument(
+        "--query", action="append", default=None, metavar="Q",
+        help="inline query object: comma-separated floats (vectors) or a "
+             "string; repeatable",
+    )
+    qr.add_argument(
+        "--query-file", default=None, metavar="PATH",
+        help="file of query objects (CSV rows for vectors, one string per line)",
+    )
+    qr.add_argument("--seed", type=int, default=0,
+                    help="seed for the vptree backend's vantage points")
+    qr.add_argument(
+        "--json", action="store_true",
+        help="emit neighbours and query statistics as one JSON object",
     )
 
     st = sub.add_parser(
@@ -578,6 +623,118 @@ def _cmd_stats_sharded(args, metric) -> int:
     return 0
 
 
+def _parse_queries(args) -> list | None:
+    """Query objects from ``--query``/``--query-file``, or None + stderr note."""
+    queries: list = []
+    if args.query:
+        for raw in args.query:
+            if args.type == "vectors":
+                try:
+                    queries.append(
+                        np.asarray(
+                            [float(x) for x in raw.replace(",", " ").split()],
+                            dtype=np.float64,
+                        )
+                    )
+                except ValueError:
+                    print(f"error: cannot parse vector query {raw!r}", file=sys.stderr)
+                    return None
+            else:
+                queries.append(raw)
+    if args.query_file:
+        if args.type == "vectors":
+            queries.extend(stream_vectors(args.query_file))
+        else:
+            queries.extend(stream_strings(args.query_file))
+    if not queries:
+        print("error: no queries given (use --query and/or --query-file)",
+              file=sys.stderr)
+        return None
+    return queries
+
+
+def _cmd_query(args) -> int:
+    import json as _json
+
+    from repro.exceptions import CheckpointError, ParameterError
+    from repro.index import make_index
+    from repro.observability import StatsSnapshot, Tracer
+    from repro.persistence import is_sharded_checkpoint, load_checkpoint
+
+    metric = _make_metric(args.type, args.metric)
+    if metric is None:
+        return 2
+    if args.k is not None and args.radius is not None:
+        print("error: --k and --radius are mutually exclusive", file=sys.stderr)
+        return 2
+    if is_sharded_checkpoint(args.checkpoint):
+        print(
+            "error: query serves sequential checkpoints; merge the sharded "
+            "scan first (resume it to completion)",
+            file=sys.stderr,
+        )
+        return 2
+    queries = _parse_queries(args)
+    if queries is None:
+        return 2
+    try:
+        ck = load_checkpoint(args.checkpoint, metric=metric)
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: cannot read checkpoint: {exc}", file=sys.stderr)
+        return 2
+
+    tracer = Tracer()
+    with tracer.activation():
+        try:
+            if args.backend == "cftree":
+                index = ck.index(metric=metric)
+            else:
+                kwargs = {"seed": args.seed} if args.backend == "vptree" else {}
+                index = make_index(args.backend, metric, **kwargs)
+                index.build(
+                    [f.clustroid for f in ck.tree.leaf_features()]
+                )
+        except (CheckpointError, ParameterError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        results = []
+        for q in queries:
+            if args.radius is not None:
+                results.append(index.within(q, args.radius))
+            else:
+                results.append(index.nearest(q, args.k if args.k else 1))
+
+    snapshot = StatsSnapshot.from_tree(ck.tree, metric=metric, tracer=tracer)
+    snapshot.apply_index(index)
+    if args.json:
+        doc = {
+            "backend": index.backend,
+            "n_indexed": len(index),
+            "results": [r.as_dict() for r in results],
+        }
+        doc.update(snapshot.to_dict())
+        print(_json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"{args.backend} index over {len(index)} clustroids "
+        f"(build NCD {index.stats.build_calls})"
+    )
+    for q, result in zip(queries, results):
+        label = repr(q) if args.type == "strings" else f"vector[{len(q)}]"
+        print(
+            f"query {label}: {len(result)} neighbour(s), "
+            f"{result.n_calls} distance call(s), {result.n_pruned} pruned"
+        )
+        for n in result:
+            shown = repr(n.obj) if args.type == "strings" else f"#{n.index}"
+            print(f"  {shown}  index={n.index}  distance={n.distance:.6g}")
+    print(snapshot.format())
+    return 0
+
+
 def _cmd_stats(args) -> int:
     import json as _json
 
@@ -627,6 +784,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_audit(args)
     if args.command == "stats":
         return _cmd_stats(args)
+    if args.command == "query":
+        return _cmd_query(args)
     return _cmd_authority(args)
 
 

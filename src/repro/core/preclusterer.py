@@ -654,6 +654,28 @@ class PreClusterer:
         """NCD so far on this model's metric (fit + any later scans)."""
         return self.metric.n_calls
 
+    def index(self, backend: str = "cftree", **kwargs: Any):
+        """A ready :class:`~repro.index.MetricIndex` over the sub-cluster
+        clustroids (in :attr:`clustroids_` order, any backend).
+
+        ``backend="cftree"`` (default) is the cheap path: it reuses the
+        fitted tree's cached leaf geometry, so the only counted calls are
+        the non-leaf anchor distances. Other backends (``"mtree"``,
+        ``"vptree"``, ``"brute"``) build from scratch over the clustroid
+        list. Extra keyword arguments go to the backend constructor
+        (e.g. ``bound_cache=`` to share one cross-query cache).
+        """
+        tree = self._require_tree()
+        if backend == "cftree":
+            from repro.index.cftree import CFTreeIndex
+
+            return CFTreeIndex.from_tree(tree, metric=self.metric, **kwargs)
+        from repro.index import make_index
+
+        idx = make_index(backend, self.metric, **kwargs)
+        idx.build(self.clustroids_)
+        return idx
+
     def assign(self, objects: Iterable, via: str = "linear") -> np.ndarray:
         """Second scan: label each object with its nearest sub-cluster.
 
@@ -686,17 +708,17 @@ class PreClusterer:
                 index = {id(f): i for i, f in enumerate(tree.leaf_features())}
                 labels = [index[id(tree.nearest_leaf_feature(obj))] for obj in objects]
             elif via == "mtree":
-                from repro.metrics.tagged import TaggedMetric
                 from repro.mtree import MTree
 
-                clustroids = self.clustroids_
-                # Clustroids may repeat (equal-valued objects in different
-                # clusters); index (position, clustroid) pairs to keep labels
-                # unambiguous, measuring only the clustroid component.
-                index = MTree(TaggedMetric(self.metric), node_capacity=8)
-                for i, c in enumerate(clustroids):
-                    index.insert((i, c))
-                labels = [index.nearest((-1, obj))[1][0] for obj in objects]
+                # Neighbour indices are clustroid positions, so repeated
+                # clustroids (equal-valued objects in different clusters)
+                # stay unambiguous, and the (distance, index) tie-break
+                # matches the linear scan's argmin-first-index exactly.
+                index = MTree(self.metric, node_capacity=8)
+                index.build(self.clustroids_)
+                labels = [
+                    index.nearest(obj).neighbors[0].index for obj in objects
+                ]
             else:
                 raise ParameterError(
                     f'via must be "linear", "tree" or "mtree", got {via!r}'

@@ -17,6 +17,7 @@ __all__ = [
     "DeadlineExceededError",
     "QuarantineOverflowError",
     "CheckpointError",
+    "StaleIndexError",
     "TreeInvariantError",
     "WorkerCrashError",
 ]
@@ -97,6 +98,17 @@ class WorkerCrashError(ReproError, RuntimeError):
     shard is retried with exponential backoff up to ``max_shard_retries``
     and finally re-executed inline in the parent; this exception only
     reaches the caller when every recovery path failed too.
+    """
+
+
+class StaleIndexError(ReproError, RuntimeError):
+    """A metric index was queried after its backing structure changed.
+
+    Raised by the ``cftree`` backend of :mod:`repro.index` when the
+    CF*-tree it was built over has inserted objects, rebuilt, or changed
+    shape since :meth:`~repro.index.CFTreeIndex.from_tree` ran — the
+    cached anchor geometry would silently return wrong neighbours.
+    Rebuild the index from the current tree to recover.
     """
 
 

@@ -231,9 +231,7 @@ def run_ablation_indexes(scale: str | Scale = "laptop", seed: int = 13) -> Table
     queried with a batch of objects. Reports distance calls per query and
     verifies all three methods return identical nearest neighbours.
     """
-    from repro.metrics import TaggedMetric
-    from repro.mtree import MTree
-    from repro.vptree import VPTree
+    from repro.index import CFTreeIndex, make_index
 
     scale = resolve_scale(scale)
     ds = make_cell_dataset(
@@ -248,22 +246,27 @@ def run_ablation_indexes(scale: str | Scale = "laptop", seed: int = 13) -> Table
 
     rows = []
     reference: list[int] | None = None
-    for name in ("linear scan", "m-tree", "vp-tree"):
+    for name in ("linear scan", "m-tree", "vp-tree", "cf-tree"):
         metric = EuclideanDistance()
         start = time.perf_counter()
         if name == "linear scan":
             answers = [int(np.argmin(metric.one_to_many(q, clustroids))) for q in queries]
             build_calls = 0
         else:
-            tagged = [(i, c) for i, c in enumerate(clustroids)]
-            if name == "m-tree":
-                index = MTree(TaggedMetric(metric), node_capacity=8)
-                for item in tagged:
-                    index.insert(item)
+            if name == "cf-tree":
+                # Reuses the fitted tree's cached leaf geometry; only the
+                # non-leaf anchor distances are counted at build time.
+                index = CFTreeIndex.from_tree(model.tree_, metric=metric)
             else:
-                index = VPTree(TaggedMetric(metric), leaf_size=8, seed=seed).build(tagged)
+                backend = {"m-tree": "mtree", "vp-tree": "vptree"}[name]
+                kwargs = (
+                    {"node_capacity": 8} if backend == "mtree" else
+                    {"leaf_size": 8, "seed": seed}
+                )
+                index = make_index(backend, metric, **kwargs)
+                index.build(clustroids)
             build_calls = metric.n_calls
-            answers = [index.nearest((-1, q))[1][0] for q in queries]
+            answers = [index.nearest(q).neighbors[0].index for q in queries]
         elapsed = time.perf_counter() - start
         if reference is None:
             reference = answers

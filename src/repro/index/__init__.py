@@ -1,0 +1,70 @@
+"""Unified metric-index layer (ROADMAP item 2).
+
+One protocol — :class:`MetricIndex` — over every triangle-inequality
+engine in the repository:
+
+========  ==============================================================
+backend   engine
+========  ==============================================================
+brute     linear scan (the control group every backend is pinned to)
+mtree     :class:`repro.mtree.MTree` (dynamic, insert-friendly)
+vptree    :class:`repro.vptree.VPTree` (static median partitioning)
+cftree    :class:`CFTreeIndex` — the clustroid hierarchy of a fitted
+          BUBBLE/BUBBLE-FM tree, reusing the build's cached pairwise
+          geometry as query-time bounds
+========  ==============================================================
+
+All backends answer ``nearest(obj, k)`` / ``within(obj, r)`` with exact,
+bit-identical results (ordered by ``(distance, index)``), report the
+per-query NCD in a typed :class:`QueryResult`, charge query traffic to
+dedicated :class:`~repro.metrics.base.CallLedger` sites, and share exact
+distances across successive queries through a bounded
+:class:`QueryBoundCache`.
+"""
+
+from repro.index.base import (
+    QUERY_BUILD_SITE,
+    QUERY_KNN_SITE,
+    QUERY_RANGE_SITE,
+    IndexQueryStats,
+    MetricIndex,
+    Neighbor,
+    NeighborHeap,
+    QueryBoundCache,
+    QueryResult,
+    QuerySession,
+    available_backends,
+    brute_force_reference,
+    make_index,
+    register_backend,
+    register_lazy_backend,
+)
+from repro.index.brute import BruteForceIndex
+from repro.index.cftree import CFTreeIndex
+
+__all__ = [
+    "QUERY_KNN_SITE",
+    "QUERY_RANGE_SITE",
+    "QUERY_BUILD_SITE",
+    "Neighbor",
+    "NeighborHeap",
+    "QueryResult",
+    "QueryBoundCache",
+    "QuerySession",
+    "IndexQueryStats",
+    "MetricIndex",
+    "BruteForceIndex",
+    "CFTreeIndex",
+    "register_backend",
+    "register_lazy_backend",
+    "available_backends",
+    "make_index",
+    "brute_force_reference",
+]
+
+register_backend("brute", BruteForceIndex)
+register_backend("cftree", CFTreeIndex)
+# The tree backends subclass MetricIndex and import repro.index.base
+# themselves; resolve them lazily to keep the import graph acyclic.
+register_lazy_backend("mtree", "repro.mtree.mtree", "MTree")
+register_lazy_backend("vptree", "repro.vptree.vptree", "VPTree")

@@ -1,0 +1,65 @@
+"""Brute-force reference backend: one counted gather, zero pruning.
+
+This is the control group every other backend is pinned against — results
+must be bit-identical, and counted calls per query must never exceed this
+backend's cost (one ``one_to_many`` over the whole indexed sequence, minus
+whatever the cross-query bound cache already knows).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+from repro.exceptions import EmptyDatasetError
+from repro.index.base import (
+    MetricIndex,
+    QueryBoundCache,
+    QuerySession,
+)
+from repro.metrics.base import DistanceFunction
+
+__all__ = ["BruteForceIndex"]
+
+
+class BruteForceIndex(MetricIndex):
+    """Linear-scan :class:`~repro.index.base.MetricIndex` backend."""
+
+    backend = "brute"
+
+    def __init__(
+        self,
+        metric: DistanceFunction,
+        bound_cache: QueryBoundCache | None = None,
+    ):
+        super().__init__(metric, bound_cache=bound_cache)
+        self._objects: list[Any] = []
+
+    def build(self, objects: Sequence[Any]) -> "BruteForceIndex":
+        if len(objects) == 0:
+            raise EmptyDatasetError("cannot index an empty object sequence")
+        self._objects = list(objects)
+        return self
+
+    @property
+    def objects(self) -> Sequence[Any]:
+        return self._objects
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def _check_ready(self) -> None:
+        if not self._objects:
+            raise EmptyDatasetError("index is empty; call build() first")
+
+    def _scan(self, session: QuerySession) -> list[tuple[float, int]]:
+        row = session.measure_many(range(len(self._objects)))
+        return [(float(value), i) for i, value in enumerate(row)]
+
+    def _knn(self, session: QuerySession, obj: Any, k: int) -> list[tuple[float, int]]:
+        return sorted(self._scan(session))[:k]
+
+    def _range(
+        self, session: QuerySession, obj: Any, radius: float
+    ) -> list[tuple[float, int]]:
+        return [(value, i) for value, i in self._scan(session) if value <= radius]

@@ -91,6 +91,29 @@ class CachedDistance(DistanceFunction):
         """True evaluations performed by the wrapped metric."""
         return self.inner.n_calls
 
+    @property
+    def size(self) -> int:
+        """Pairs currently held by the LRU store."""
+        return len(self._cache)
+
+    @property
+    def hit_rate(self) -> float:
+        """Share of lookups served from the cache (0.0 when unused)."""
+        total = self.n_hits + self.n_calls
+        return self.n_hits / total if total else 0.0
+
+    def counters(self) -> dict[str, object]:
+        """JSON-compatible record of the LRU counters (what
+        :class:`~repro.observability.StatsSnapshot` embeds as ``cache``)."""
+        return {
+            "hits": self.n_hits,
+            "misses": self.n_calls,
+            "evictions": self.n_evictions,
+            "size": self.size,
+            "maxsize": self.maxsize,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
     def reset_counter(self) -> None:
         self.inner.reset_counter()
         self.n_hits = 0

@@ -12,25 +12,42 @@ Queries prune with two triangle-inequality tests, cheapest first:
 1. parent filter (no distance call): an entry with distance-to-parent
    ``d_p`` under a parent at distance ``d_qp`` from the query cannot contain
    anything within ``r`` of the query if ``|d_qp - d_p| > r + r_cov``;
-2. direct filter (one call): compute ``d(q, routing)``; prune the subtree if
+2. direct filter (one batched gather per node): compute ``d(q, routing)``
+   for every surviving entry at once; prune the subtree if
    ``d(q, routing) - r_cov > r``.
 
 Splits promote the farthest pair of entries and partition the rest to the
 closer promoted object (the paper's ``mM_RAD``-style confirmed promotion is
 approximated by farthest-pair, which behaves comparably and needs no
 quadratic confirmation step).
+
+The tree implements the :class:`repro.index.MetricIndex` protocol: objects
+are indexed by insertion order, :meth:`~MTree.nearest`/:meth:`~MTree.within`
+return typed :class:`~repro.index.QueryResult` records, per-node gathers go
+through one counted ``one_to_many`` batch, and exact distances persist
+across queries in the shared :class:`~repro.index.QueryBoundCache`. Routing
+objects are copies of indexed objects and share their index, so a distance
+paid on the way down is free when the leaf copy is reached.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
+from typing import Any
 
 import numpy as np
 
-from repro.exceptions import EmptyDatasetError, ParameterError, TreeInvariantError
-from repro.metrics.base import DistanceFunction
+from repro.exceptions import EmptyDatasetError, TreeInvariantError
+from repro.index.base import (
+    QUERY_BUILD_SITE,
+    MetricIndex,
+    NeighborHeap,
+    QueryBoundCache,
+    QuerySession,
+)
+from repro.metrics.base import DistanceFunction, pop_site, push_site
 from repro.utils.validation import check_integer
 
 __all__ = ["MTree"]
@@ -42,13 +59,23 @@ class _Entry:
     For leaf entries ``child is None`` and ``radius == 0``; for routing
     entries ``child`` is the covered subtree and ``radius`` its covering
     radius. ``dist_to_parent`` is ``None`` at the root (no parent routing
-    object to measure against).
+    object to measure against). ``index`` is the object's position in
+    insertion order; a routing entry carries the index of the leaf object
+    it was promoted from.
     """
 
-    __slots__ = ("obj", "dist_to_parent", "radius", "child")
+    __slots__ = ("obj", "index", "dist_to_parent", "radius", "child")
 
-    def __init__(self, obj, dist_to_parent=None, radius: float = 0.0, child=None):
+    def __init__(
+        self,
+        obj: Any,
+        index: int,
+        dist_to_parent: float | None = None,
+        radius: float = 0.0,
+        child: "_Node | None" = None,
+    ):
         self.obj = obj
+        self.index = index
         self.dist_to_parent = dist_to_parent
         self.radius = radius
         self.child = child
@@ -62,7 +89,7 @@ class _Node:
         self.entries: list[_Entry] = entries if entries is not None else []
 
 
-class MTree:
+class MTree(MetricIndex):
     """Dynamic exact similarity index over an arbitrary metric space.
 
     Parameters
@@ -71,6 +98,9 @@ class MTree:
         The distance function; every evaluation counts toward its NCD.
     node_capacity:
         Maximum entries per node (≥ 2 required so splits can distribute).
+    bound_cache:
+        Optional shared :class:`~repro.index.QueryBoundCache`; defaults to
+        a private one.
 
     Examples
     --------
@@ -80,40 +110,59 @@ class MTree:
     ...     tree.insert(w)
     >>> sorted(obj for _, obj in tree.knn("cot", 2))
     ['cat', 'cog']
+    >>> [n.index for n in tree.nearest("cot", 1)]
+    [0]
     """
 
-    def __init__(self, metric: DistanceFunction, node_capacity: int = 8):
-        if not isinstance(metric, DistanceFunction):
-            raise ParameterError("metric must be a DistanceFunction")
-        self.metric = metric
+    backend = "mtree"
+
+    def __init__(
+        self,
+        metric: DistanceFunction,
+        node_capacity: int = 8,
+        bound_cache: QueryBoundCache | None = None,
+    ):
+        super().__init__(metric, bound_cache=bound_cache)
         self.node_capacity = check_integer(node_capacity, "node_capacity", minimum=2)
         self._root = _Node(is_leaf=True)
         self._size = 0
+        self._objects: list[Any] = []
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
-    def insert(self, obj) -> None:
-        """Insert one object."""
-        split = self._insert_into(self._root, obj, parent_routing=None)
-        if split is not None:
-            self._grow_root(split)
+    def insert(self, obj: Any) -> None:
+        """Insert one object (its index is the current size)."""
+        start_calls = self.metric.n_calls
+        push_site(QUERY_BUILD_SITE)
+        try:
+            split = self._insert_into(
+                self._root, obj, self._size, parent_routing=None
+            )
+            if split is not None:
+                self._grow_root(split)
+        finally:
+            pop_site()
+        self._objects.append(obj)
         self._size += 1
+        self._count_build(start_calls)
 
-    def build(self, objects: Iterable) -> "MTree":
+    def build(self, objects: Iterable[Any]) -> "MTree":
         """Insert every object of an iterable; returns self."""
         for obj in objects:
             self.insert(obj)
         return self
 
-    def _insert_into(self, node: _Node, obj, parent_routing):
+    def _insert_into(
+        self, node: _Node, obj: Any, index: int, parent_routing: Any
+    ) -> tuple[_Entry, _Entry] | None:
         if node.is_leaf:
             dist = (
                 None
                 if parent_routing is None
-                else self.metric.distance(obj, parent_routing)
+                else float(self.metric.one_to_many(obj, [parent_routing])[0])
             )
-            node.entries.append(_Entry(obj, dist_to_parent=dist))
+            node.entries.append(_Entry(obj, index, dist_to_parent=dist))
             if len(node.entries) > self.node_capacity:
                 return self._split(node)
             return None
@@ -130,16 +179,18 @@ class MTree:
             )
             node.entries[best].radius = float(dists[best])
         entry = node.entries[best]
-        split = self._insert_into(entry.child, obj, parent_routing=entry.obj)
+        split = self._insert_into(entry.child, obj, index, parent_routing=entry.obj)
         if split is not None:
             left, right = split
             node.entries.pop(best)
-            for new_entry in (left, right):
-                if parent_routing is not None:
-                    new_entry.dist_to_parent = self.metric.distance(
-                        new_entry.obj, parent_routing
-                    )
-                node.entries.append(new_entry)
+            if parent_routing is not None:
+                # One batched gather re-measures both promoted entries.
+                pair = self.metric.one_to_many(
+                    parent_routing, [left.obj, right.obj]
+                )
+                left.dist_to_parent = float(pair[0])
+                right.dist_to_parent = float(pair[1])
+            node.entries.extend((left, right))
             if len(node.entries) > self.node_capacity:
                 return self._split(node)
         return None
@@ -165,7 +216,7 @@ class MTree:
 
         promoted = []
         for anchor, idx_group in zip((ia, ib), groups):
-            routing_obj = entries[anchor].obj
+            routing = entries[anchor]
             child = _Node(is_leaf=node.is_leaf)
             radius = 0.0
             for i in idx_group:
@@ -174,7 +225,9 @@ class MTree:
                 e.dist_to_parent = d
                 child.entries.append(e)
                 radius = max(radius, d + e.radius)
-            promoted.append(_Entry(routing_obj, radius=radius, child=child))
+            promoted.append(
+                _Entry(routing.obj, routing.index, radius=radius, child=child)
+            )
         return promoted[0], promoted[1]
 
     def _grow_root(self, split: tuple[_Entry, _Entry]) -> None:
@@ -182,85 +235,104 @@ class MTree:
         self._root = _Node(is_leaf=False, entries=[left, right])
 
     # ------------------------------------------------------------------
-    # Queries
+    # MetricIndex protocol
     # ------------------------------------------------------------------
-    def range_query(self, query, radius: float) -> list:
-        """All indexed objects within ``radius`` of ``query`` (inclusive)."""
-        if radius < 0:
-            raise ParameterError(f"radius must be >= 0, got {radius}")
-        out: list = []
-        self._range(self._root, query, radius, d_query_parent=None, out=out)
+    @property
+    def objects(self) -> Sequence[Any]:
+        return self._objects
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _check_ready(self) -> None:
+        if self._size == 0:
+            raise EmptyDatasetError("query on an empty MTree")
+
+    def _survivors(
+        self,
+        node: _Node,
+        d_qp: float | None,
+        tau: float,
+        session: QuerySession,
+    ) -> list[_Entry]:
+        """Entries passing the (distance-free) parent filter at radius tau."""
+        out = []
+        for e in node.entries:
+            if d_qp is not None and e.dist_to_parent is not None:
+                session.bound_checks += 1
+                if abs(d_qp - e.dist_to_parent) > tau + e.radius:
+                    continue
+            out.append(e)
         return out
 
-    def _range(self, node: _Node, query, radius, d_query_parent, out) -> None:
-        for e in node.entries:
-            # Parent filter: free of distance calls.
-            if (
-                d_query_parent is not None
-                and e.dist_to_parent is not None
-                and abs(d_query_parent - e.dist_to_parent) > radius + e.radius
-            ):
-                continue
-            d = self.metric.distance(query, e.obj)
-            if node.is_leaf:
-                if d <= radius:
-                    out.append(e.obj)
-            elif d <= radius + e.radius:
-                self._range(e.child, query, radius, d_query_parent=d, out=out)
-
-    def knn(self, query, k: int) -> list[tuple[float, object]]:
-        """The ``k`` nearest objects as ``(distance, object)``, ascending.
-
-        Uses best-first search on a priority queue of subtree lower bounds,
-        shrinking the pruning radius as neighbours are confirmed.
-        """
-        k = check_integer(k, "k", minimum=1)
-        if self._size == 0:
-            raise EmptyDatasetError("knn on an empty MTree")
-        counter = itertools.count()  # tie-breaker: objects may not be orderable
+    def _knn(
+        self, session: QuerySession, obj: Any, k: int
+    ) -> list[tuple[float, int]]:
+        heap = NeighborHeap(k)
+        counter = itertools.count()  # tie-breaker: nodes are not orderable
         # (lower_bound, tiebreak, node, d_query_parent)
-        frontier: list = [(0.0, next(counter), self._root, None)]
-        best: list[tuple[float, int, object]] = []  # max-heap via negation
-
-        def current_radius() -> float:
-            return -best[0][0] if len(best) == k else np.inf
-
+        frontier: list[tuple[float, int, _Node, float | None]] = [
+            (0.0, next(counter), self._root, None)
+        ]
         while frontier:
             lower, _, node, d_qp = heapq.heappop(frontier)
-            if lower > current_radius():
+            session.bound_checks += 1
+            if lower > heap.tau:
                 break
-            for e in node.entries:
-                if (
-                    d_qp is not None
-                    and e.dist_to_parent is not None
-                    and abs(d_qp - e.dist_to_parent) > current_radius() + e.radius
-                ):
-                    continue
-                # Best-first search prunes via the triangle inequality; the
-                # inner loop is bounded by node capacity, and these counted
-                # calls are exactly the query cost the index exists to shrink.
-                d = self.metric.distance(query, e.obj)  # reprolint: disable=RPL004 -- triangle-pruned search; inner loop bounded by node capacity
-                if node.is_leaf:
-                    if d <= current_radius():
-                        heapq.heappush(best, (-d, next(counter), e.obj))
-                        if len(best) > k:
-                            heapq.heappop(best)
-                else:
+            survivors = self._survivors(node, d_qp, heap.tau, session)
+            if not survivors:
+                continue
+            dists = session.measure_many([e.index for e in survivors])
+            for e, value in zip(survivors, dists):
+                d = float(value)
+                # Routing objects are indexed objects too: offering them
+                # tightens tau early and the heap dedupes by index.
+                heap.offer(e.index, d)
+                if not node.is_leaf:
                     bound = max(d - e.radius, 0.0)
-                    if bound <= current_radius():
-                        heapq.heappush(frontier, (bound, next(counter), e.child, d))
-        return sorted((-neg, obj) for neg, _, obj in best)
+                    session.bound_checks += 1
+                    if bound <= heap.tau:
+                        heapq.heappush(
+                            frontier, (bound, next(counter), e.child, d)
+                        )
+        return heap.items()
 
-    def nearest(self, query) -> tuple[float, object]:
-        """Convenience: the single nearest object as ``(distance, object)``."""
-        return self.knn(query, 1)[0]
+    def _range(
+        self, session: QuerySession, obj: Any, radius: float
+    ) -> list[tuple[float, int]]:
+        hits: dict[int, float] = {}
+        stack: list[tuple[_Node, float | None]] = [(self._root, None)]
+        while stack:
+            node, d_qp = stack.pop()
+            survivors = self._survivors(node, d_qp, radius, session)
+            if not survivors:
+                continue
+            dists = session.measure_many([e.index for e in survivors])
+            for e, value in zip(survivors, dists):
+                d = float(value)
+                if node.is_leaf:
+                    if d <= radius:
+                        hits[e.index] = d
+                elif d <= radius + e.radius:
+                    if d <= radius:
+                        hits[e.index] = d
+                    stack.append((e.child, d))
+        return [(d, i) for i, d in hits.items()]
+
+    # ------------------------------------------------------------------
+    # Legacy query surface (kept for existing call sites)
+    # ------------------------------------------------------------------
+    def range_query(self, query: Any, radius: float) -> list:
+        """All indexed objects within ``radius`` of ``query`` (inclusive)."""
+        return [n.obj for n in self.within(query, radius)]
+
+    def knn(self, query: Any, k: int) -> list[tuple[float, object]]:
+        """The ``k`` nearest objects as ``(distance, object)``, ascending."""
+        return [(n.distance, n.obj) for n in self.nearest(query, k)]
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
-    def __len__(self) -> int:
-        return self._size
-
     @property
     def height(self) -> int:
         h, node = 1, self._root
@@ -269,7 +341,7 @@ class MTree:
             h += 1
         return h
 
-    def items(self) -> Iterable:
+    def items(self) -> Iterable[Any]:
         """Iterate over all indexed objects."""
         stack = [self._root]
         while stack:
@@ -281,7 +353,7 @@ class MTree:
                 stack.extend(e.child for e in node.entries)
 
     def check_invariants(self) -> None:
-        """Verify covering radii and entry counts; raise on violation."""
+        """Verify covering radii, entry counts, and index wiring."""
         count = 0
         stack: list[tuple[_Node, object, float]] = [(self._root, None, np.inf)]
         while stack:
@@ -291,6 +363,8 @@ class MTree:
                     f"node holds {len(node.entries)} > capacity {self.node_capacity}"
                 )
             for e in node.entries:
+                if e.obj is not self._objects[e.index]:
+                    raise TreeInvariantError("entry index points at wrong object")
                 if routing is not None:
                     # NCD-neutral audit: invariant checks must not perturb the
                     # call counter (cf. repro.analysis.audit).

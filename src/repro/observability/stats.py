@@ -60,6 +60,13 @@ class StatsSnapshot:
     cache_hits: int | None = None
     #: Cache misses == true evaluations through the cache.
     cache_misses: int | None = None
+    #: Full LRU cache counters (hits/misses/evictions/size/maxsize/
+    #: hit_rate; ``None`` when no :class:`CachedDistance` is in the chain).
+    cache: dict[str, Any] | None = None
+    #: Query-serving counters of a :class:`repro.index.MetricIndex`
+    #: (:meth:`~repro.index.IndexQueryStats.as_dict` plus the bound-cache
+    #: record; ``None`` until :meth:`apply_index` runs).
+    query: dict[str, Any] | None = None
     #: Pruned-routing counters (:class:`repro.core.routing.PruningStats`
     #: as a dict; ``None`` when the policy has no pruning engine).
     pruning: dict[str, int] | None = None
@@ -119,6 +126,7 @@ class StatsSnapshot:
             if cache is not None:
                 snapshot.cache_hits = cache.n_hits
                 snapshot.cache_misses = cache.n_calls
+                snapshot.cache = cache.counters()
         if tracer is not None and getattr(tracer, "enabled", False):
             snapshot.ncd_by_site = dict(tracer.calls_by_site)
         pruning_stats = getattr(getattr(tree, "policy", None), "pruning_stats", None)
@@ -159,6 +167,18 @@ class StatsSnapshot:
         self.global_sample_ncd = int(get("global_sample_ncd", 0) or 0)
         self.global_sample_seconds = float(get("global_sample_seconds", 0.0) or 0.0)
 
+    def apply_index(self, index: Any) -> None:
+        """Fold a :class:`repro.index.MetricIndex`'s query counters in.
+
+        Populates :attr:`query` with the cumulative
+        :class:`~repro.index.IndexQueryStats` record plus the cross-query
+        bound cache's hit/miss/eviction counters.
+        """
+        self.query = dict(index.stats.as_dict())
+        self.query["backend"] = getattr(index, "backend", "?")
+        self.query["n_indexed"] = len(index)
+        self.query["bound_cache"] = index.bound_cache.as_dict()
+
     def to_dict(self) -> dict[str, Any]:
         """JSON-compatible dict (what the harness and sinks embed)."""
         return {
@@ -176,6 +196,8 @@ class StatsSnapshot:
             "ncd_by_site": dict(self.ncd_by_site),
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "cache": dict(self.cache) if self.cache is not None else None,
+            "query": dict(self.query) if self.query is not None else None,
             "pruning": dict(self.pruning) if self.pruning is not None else None,
             "slab": dict(self.slab) if self.slab is not None else None,
             "shards_retried": self.shards_retried,
@@ -208,6 +230,47 @@ class StatsSnapshot:
         if self.cache_hits is not None:
             rows.append(("cache hits", str(self.cache_hits)))
             rows.append(("cache misses", str(self.cache_misses)))
+        if self.cache is not None:
+            rows.append(("cache evictions", str(self.cache.get("evictions", 0))))
+            rows.append(
+                (
+                    "cache occupancy",
+                    f"{self.cache.get('size')}/{self.cache.get('maxsize')} "
+                    f"(hit rate {float(self.cache.get('hit_rate', 0.0)):.1%})",
+                )
+            )
+        if self.query is not None and self.query.get("n_queries"):
+            rows.append(
+                (
+                    "queries served",
+                    f"{self.query.get('n_queries')} "
+                    f"({self.query.get('n_knn')} kNN, "
+                    f"{self.query.get('n_range')} range, "
+                    f"backend {self.query.get('backend')})",
+                )
+            )
+            rows.append(
+                (
+                    "query NCD",
+                    f"{self.query.get('query_calls')} total "
+                    f"({float(self.query.get('mean_query_calls', 0.0)):.1f}/query, "
+                    f"build {self.query.get('build_calls')})",
+                )
+            )
+            q_total = self.query.get("candidates_total", 0)
+            q_pruned = self.query.get("candidates_pruned", 0)
+            q_share = q_pruned / q_total if q_total else 0.0
+            rows.append(
+                ("query pruned", f"{q_pruned}/{q_total} ({q_share:.1%})")
+            )
+            bc = self.query.get("bound_cache") or {}
+            rows.append(
+                (
+                    "bound cache",
+                    f"{bc.get('hits', 0)} hits / {bc.get('misses', 0)} misses "
+                    f"(hit rate {float(bc.get('hit_rate', 0.0)):.1%})",
+                )
+            )
         if self.pruning is not None and self.pruning.get("queries"):
             total = self.pruning.get("candidates_total", 0)
             pruned = self.pruning.get("candidates_pruned", 0)

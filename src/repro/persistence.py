@@ -206,6 +206,20 @@ class Checkpoint:
     #: Free-form metadata stored at save time.
     metadata: dict = field(default_factory=dict)
 
+    def index(self, metric: DistanceFunction | None = None, **kwargs):
+        """A ready ``cftree`` :class:`~repro.index.MetricIndex` over the
+        restored tree's clustroids.
+
+        The leaf geometry caches travel inside the checkpoint pickle
+        (``node.aux``), so serving queries from a restored checkpoint
+        costs only the non-leaf anchor distances — no re-measurement of
+        the leaf pairwise matrices. ``metric`` defaults to the one
+        re-attached at load time.
+        """
+        from repro.index.cftree import CFTreeIndex
+
+        return CFTreeIndex.from_tree(self.tree, metric=metric, **kwargs)
+
 
 def save_checkpoint(
     path: str | os.PathLike,

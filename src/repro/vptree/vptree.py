@@ -10,18 +10,31 @@ cannot contain anything within the current radius:
 
 where ``mu`` is the node's median split distance and ``tau`` the current
 search radius (shrinking during kNN).
+
+The tree implements the :class:`repro.index.MetricIndex` protocol: objects
+are indexed by build-sequence position, :meth:`~VPTree.nearest` and
+:meth:`~VPTree.within` return typed :class:`~repro.index.QueryResult`
+records, bucket scans go through one counted ``one_to_many`` gather, and
+measured distances persist across queries in the shared
+:class:`~repro.index.QueryBoundCache`.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
 from collections.abc import Sequence
+from typing import Any
 
 import numpy as np
 
-from repro.exceptions import EmptyDatasetError, NotFittedError, ParameterError
-from repro.metrics.base import DistanceFunction
+from repro.exceptions import EmptyDatasetError, NotFittedError
+from repro.index.base import (
+    QUERY_BUILD_SITE,
+    MetricIndex,
+    NeighborHeap,
+    QueryBoundCache,
+    QuerySession,
+)
+from repro.metrics.base import DistanceFunction, pop_site, push_site
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_integer
 
@@ -31,14 +44,14 @@ __all__ = ["VPTree"]
 class _Node:
     __slots__ = ("index", "mu", "inside", "outside")
 
-    def __init__(self, index: int, mu: float | None, inside, outside):
+    def __init__(self, index: int, mu: float | None, inside: Any, outside: Any):
         self.index = index
         self.mu = mu
         self.inside = inside
         self.outside = outside
 
 
-class VPTree:
+class VPTree(MetricIndex):
     """Static exact metric index built by median partitioning.
 
     Parameters
@@ -50,37 +63,48 @@ class VPTree:
         scanned linearly (cheaper than deep recursion for tiny sets).
     seed:
         Seed/generator for vantage-point selection.
+    bound_cache:
+        Optional shared :class:`~repro.index.QueryBoundCache`; defaults to
+        a private one.
     """
+
+    backend = "vptree"
 
     def __init__(
         self,
         metric: DistanceFunction,
         leaf_size: int = 8,
-        seed=None,
+        seed: Any = None,
+        bound_cache: QueryBoundCache | None = None,
     ):
-        if not isinstance(metric, DistanceFunction):
-            raise ParameterError("metric must be a DistanceFunction")
-        self.metric = metric
+        super().__init__(metric, bound_cache=bound_cache)
         self.leaf_size = check_integer(leaf_size, "leaf_size", minimum=1)
         self._rng = ensure_rng(seed)
-        self._objects: list | None = None
-        self._root = None
+        self._objects: list[Any] | None = None
+        self._root: Any = None
 
     # ------------------------------------------------------------------
-    def build(self, objects: Sequence) -> "VPTree":
+    def build(self, objects: Sequence[Any]) -> "VPTree":
         """Index ``objects``; they are referenced, not copied."""
         objects = list(objects)
         if not objects:
             raise EmptyDatasetError("VPTree.build requires at least one object")
         self._objects = objects
-        self._root = self._build(list(range(len(objects))))
+        start_calls = self.metric.n_calls
+        push_site(QUERY_BUILD_SITE)
+        try:
+            self._root = self._build(list(range(len(objects))))
+        finally:
+            pop_site()
+        self._count_build(start_calls)
         return self
 
-    def _build(self, indices: list[int]):
+    def _build(self, indices: list[int]) -> Any:
         if not indices:
             return None
         if len(indices) <= self.leaf_size:
             return list(indices)  # flat bucket
+        assert self._objects is not None
         vp_pos = int(self._rng.integers(0, len(indices)))
         vp = indices.pop(vp_pos)
         dists = self.metric.one_to_many(
@@ -96,75 +120,72 @@ class VPTree:
         return _Node(vp, mu, self._build(inside), self._build(outside))
 
     # ------------------------------------------------------------------
-    def knn(self, query, k: int) -> list[tuple[float, object]]:
-        """The ``k`` nearest objects as ``(distance, object)``, ascending."""
-        k = check_integer(k, "k", minimum=1)
+    # MetricIndex protocol
+    # ------------------------------------------------------------------
+    @property
+    def objects(self) -> Sequence[Any]:
+        if self._objects is None:
+            return []
+        return self._objects
+
+    def __len__(self) -> int:
+        return len(self._objects) if self._objects is not None else 0
+
+    def _check_ready(self) -> None:
         if self._root is None:
-            raise NotFittedError("VPTree.knn called before build")
-        counter = itertools.count()
-        best: list[tuple[float, int, int]] = []  # (-dist, tiebreak, index)
+            raise NotFittedError("VPTree queried before build")
 
-        def tau() -> float:
-            return -best[0][0] if len(best) == k else np.inf
+    def _knn(
+        self, session: QuerySession, obj: Any, k: int
+    ) -> list[tuple[float, int]]:
+        heap = NeighborHeap(k)
 
-        def offer(index: int, dist: float) -> None:
-            if dist <= tau():
-                heapq.heappush(best, (-dist, next(counter), index))
-                if len(best) > k:
-                    heapq.heappop(best)
-
-        def search(node) -> None:
+        def search(node: Any) -> None:
             if node is None:
                 return
             if isinstance(node, list):
-                dists = self.metric.one_to_many(
-                    query, [self._objects[i] for i in node]
-                )
-                for i, d in zip(node, dists):
-                    offer(i, float(d))
+                dists = session.measure_many(node)
+                for i, value in zip(node, dists):
+                    heap.offer(i, float(value))
                 return
-            d_vp = self.metric.distance(query, self._objects[node.index])
-            offer(node.index, d_vp)
-            # Visit the more promising side first to shrink tau early.
-            first, second = (
-                (node.inside, node.outside) if d_vp <= node.mu else (node.outside, node.inside)
-            )
-            search(first)
+            d_vp = session.measure(node.index)
+            heap.offer(node.index, d_vp)
+            # Visit the more promising side first to shrink tau early;
+            # boundary tests keep equality so median ties are never lost.
             if d_vp <= node.mu:
-                if d_vp + tau() >= node.mu:
-                    search(second)
-            elif d_vp - tau() <= node.mu:
-                search(second)
+                search(node.inside)
+                session.bound_checks += 1
+                if d_vp + heap.tau >= node.mu:
+                    search(node.outside)
+            else:
+                search(node.outside)
+                session.bound_checks += 1
+                if d_vp - heap.tau <= node.mu:
+                    search(node.inside)
 
         search(self._root)
-        return sorted((-neg, self._objects[i]) for neg, _, i in best)
+        return heap.items()
 
-    def nearest(self, query) -> tuple[float, object]:
-        """The single nearest object as ``(distance, object)``."""
-        return self.knn(query, 1)[0]
+    def _range(
+        self, session: QuerySession, obj: Any, radius: float
+    ) -> list[tuple[float, int]]:
+        out: list[tuple[float, int]] = []
 
-    def range_query(self, query, radius: float) -> list:
-        """All indexed objects within ``radius`` of ``query`` (inclusive)."""
-        if radius < 0:
-            raise ParameterError(f"radius must be >= 0, got {radius}")
-        if self._root is None:
-            raise NotFittedError("VPTree.range_query called before build")
-        out: list = []
-
-        def search(node) -> None:
+        def search(node: Any) -> None:
             if node is None:
                 return
             if isinstance(node, list):
-                dists = self.metric.one_to_many(
-                    query, [self._objects[i] for i in node]
-                )
+                dists = session.measure_many(node)
                 out.extend(
-                    self._objects[i] for i, d in zip(node, dists) if d <= radius
+                    (float(value), i)
+                    for i, value in zip(node, dists)
+                    if value <= radius
                 )
                 return
-            d_vp = self.metric.distance(query, self._objects[node.index])
+            d_vp = session.measure(node.index)
             if d_vp <= radius:
-                out.append(self._objects[node.index])
+                out.append((d_vp, node.index))
+            session.bound_checks += 2
             if d_vp - radius <= node.mu:
                 search(node.inside)
             if d_vp + radius >= node.mu:
@@ -174,5 +195,12 @@ class VPTree:
         return out
 
     # ------------------------------------------------------------------
-    def __len__(self) -> int:
-        return len(self._objects) if self._objects is not None else 0
+    # Legacy query surface (kept for existing call sites)
+    # ------------------------------------------------------------------
+    def knn(self, query: Any, k: int) -> list[tuple[float, object]]:
+        """The ``k`` nearest objects as ``(distance, object)``, ascending."""
+        return [(n.distance, n.obj) for n in self.nearest(query, k)]
+
+    def range_query(self, query: Any, radius: float) -> list:
+        """All indexed objects within ``radius`` of ``query`` (inclusive)."""
+        return [n.obj for n in self.within(query, radius)]

@@ -176,5 +176,10 @@ class TestFigureSmokeRuns:
         from repro.experiments import run_ablation_indexes
 
         r = run_ablation_indexes(scale=TINY)
-        assert {row[0] for row in r.rows} == {"linear scan", "m-tree", "vp-tree"}
+        assert {row[0] for row in r.rows} == {
+            "linear scan",
+            "m-tree",
+            "vp-tree",
+            "cf-tree",
+        }
         assert all(row[5] == 1.0 for row in r.rows)  # exactness

@@ -120,3 +120,59 @@ class TestRelativeEditDistance:
         m = RelativeEditDistance()
         for a, b in [("a", "bcdef"), ("xy", "yx"), ("", "abc")]:
             assert 0.0 <= m.distance(a, b) <= 1.0
+
+
+class TestLevenshteinBlock:
+    """The vectorized block DP must be bit-identical to the scalar loop."""
+
+    def test_matches_scalar_on_random_strings(self):
+        import random
+
+        from repro.metrics.string import levenshtein_block
+
+        rng = random.Random(7)
+        words = [
+            "".join(rng.choice("abcde") for _ in range(rng.randrange(0, 10)))
+            for _ in range(120)
+        ]
+        for query in ["", "a", "edcba", "abcde", words[0], words[50]]:
+            got = levenshtein_block(query, words)
+            assert got.dtype == float
+            assert list(got) == [edit_distance(query, w) for w in words]
+
+    def test_edge_shapes(self):
+        from repro.metrics.string import levenshtein_block
+
+        assert len(levenshtein_block("abc", [])) == 0
+        assert list(levenshtein_block("", ["", "ab", "xyz"])) == [0.0, 2.0, 3.0]
+        assert list(levenshtein_block("abc", ["", ""])) == [3.0, 3.0]
+
+    def test_unicode_and_padding_mix(self):
+        from repro.metrics.string import levenshtein_block
+
+        targets = ["", "á", "ábç∂", "😀x", "a" * 40, "ábç∂éf"]
+        for query in ["ábç", "😀", "aaaa"]:
+            got = levenshtein_block(query, targets)
+            assert list(got) == [edit_distance(query, t) for t in targets]
+
+    def test_one_to_many_uses_block_path_with_exact_counting(self):
+        metric = EditDistance()
+        words = ["cat", "cot", "dogs", "", "tack"]
+        row = metric.one_to_many("cat", words)
+        assert list(row) == [edit_distance("cat", w) for w in words]
+        assert metric.n_calls == len(words)
+        # cross/pairwise route through one_to_many: same values, same counts.
+        cross = metric.cross(words[:2], words)
+        assert metric.n_calls == len(words) + 2 * len(words)
+        assert cross[0].tolist() == row.tolist()
+        pair = metric.pairwise(words)
+        assert metric.n_calls == len(words) + 2 * len(words) + 5 * 4 // 2
+        assert pair[1][0] == edit_distance("cot", "cat")
+
+    def test_upper_bound_falls_back_to_scalar_loop(self):
+        bounded = EditDistance(upper_bound=2.0)
+        words = ["kitten", "intention", "cat"]
+        row = bounded.one_to_many("execution", words)
+        assert list(row) == [
+            edit_distance("execution", w, upper_bound=2.0) for w in words
+        ]

@@ -99,8 +99,9 @@ class TestKnn:
     def test_nearest(self, rng):
         pts = list(rng.normal(size=(20, 2)))
         tree = MTree(EuclideanDistance(), node_capacity=4).build(pts)
-        d, obj = tree.nearest(pts[7])
-        assert d == pytest.approx(0.0, abs=1e-12)
+        result = tree.nearest(pts[7])
+        assert result.neighbors[0].index == 7
+        assert result.neighbors[0].distance == pytest.approx(0.0, abs=1e-12)
 
     def test_knn_prunes_versus_linear_scan(self, rng):
         # On clustered data the index must beat the linear scan in calls.
